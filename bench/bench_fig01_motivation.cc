@@ -1,0 +1,82 @@
+// Figure 1 + Table 1 context: the cold-start motivation. (a) tuning steps
+// needed by each state-of-the-art method to reach its optimal throughput on
+// TPC-C (paper: at least 475 steps); (b) tuning time to the optimum for
+// TPC-C, Sysbench RW and Sysbench WO (paper: at least 40 hours).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+
+namespace hunter::bench {
+namespace {
+
+struct Row {
+  size_t steps_to_optimum = 0;
+  double hours_to_optimum = 0.0;
+};
+
+Row Measure(const std::string& method, const Scenario& scenario) {
+  auto controller = MakeController(scenario, 1, 42);
+  auto tuner = MakeTuner(method, scenario, 7);
+  tuners::HarnessOptions harness;
+  harness.budget_hours = 70.0;
+  const tuners::TuningResult result =
+      tuners::RunTuning(tuner.get(), controller.get(), harness);
+  // Steps to optimum = steps completed by the recommendation time.
+  const double step_hours =
+      result.curve.empty() ? 1.0
+                           : result.curve.back().hours /
+                                 static_cast<double>(result.curve.size());
+  Row row;
+  row.steps_to_optimum = static_cast<size_t>(
+      result.recommendation_hours / std::max(1e-9, step_hours));
+  row.hours_to_optimum = result.recommendation_hours;
+  return row;
+}
+
+}  // namespace
+}  // namespace hunter::bench
+
+int main() {
+  using namespace hunter;
+  const std::vector<std::string> methods = {"BestConfig", "OtterTune",
+                                            "CDBTune", "QTune"};
+  auto tpcc = bench::MySqlTpcc();
+  auto rw = bench::MySqlSysbenchRw();
+  auto wo = bench::MySqlSysbenchWo();
+
+  std::map<std::string, bench::Row> tpcc_rows, rw_rows, wo_rows;
+  for (const auto& method : methods) {
+    tpcc_rows[method] = bench::Measure(method, tpcc);
+    rw_rows[method] = bench::Measure(method, rw);
+    wo_rows[method] = bench::Measure(method, wo);
+  }
+
+  std::printf("## Figure 1(a): tuning steps to the optimal throughput (TPC-C)\n");
+  std::printf("paper: >= 475 steps for the state-of-the-art methods\n\n");
+  common::TablePrinter steps_table({"method", "steps", "hours"});
+  for (const auto& method : methods) {
+    steps_table.AddRow({method,
+                        std::to_string(tpcc_rows[method].steps_to_optimum),
+                        common::FormatDouble(
+                            tpcc_rows[method].hours_to_optimum, 1)});
+  }
+  steps_table.Print(std::cout);
+
+  std::printf(
+      "\n## Figure 1(b): tuning time to the optimum per workload (hours)\n");
+  std::printf("paper: >= 40 hours for the state-of-the-art methods\n\n");
+  common::TablePrinter time_table(
+      {"method", "TPC-C", "Sysbench RW", "Sysbench WO"});
+  for (const auto& method : methods) {
+    time_table.AddRow(
+        {method, common::FormatDouble(tpcc_rows[method].hours_to_optimum, 1),
+         common::FormatDouble(rw_rows[method].hours_to_optimum, 1),
+         common::FormatDouble(wo_rows[method].hours_to_optimum, 1)});
+  }
+  time_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Table 4: ablation study on MySQL with Sysbench RW (72 h, 1 cloned CDB).
+// Paper reference rows (T txn/s, L ms, rec. time h):
+//   DDPG 4230/118.3/47, DDPG+GA 4680/109.3/38, +PCA 4592/110.2/32,
+//   +RF 4601/110.1/27, +FES 4783/107.6/33, HUNTER 4703/108.1/21.
+
+#include "bench/bench_ablation.h"
+
+int main() {
+  std::printf("## Table 4: ablation study on MySQL with Sysbench RW (72 h)\n\n");
+  auto scenario = hunter::bench::MySqlSysbenchRw();
+  hunter::bench::RunAblationTable(scenario, 1.0, "txn/s", 7);
+  std::printf(
+      "\npaper: DDPG 4230/118.3/47h ... HUNTER 4703/108.1/21h\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Table 5: ablation study on PostgreSQL with TPC-C (72 h, 1 cloned CDB).
+// Paper reference rows (T txn/min, L ms, rec. time h):
+//   DDPG 74456/95.7/43, DDPG+GA 77212/87.7/32, +PCA 76201/88.5/24,
+//   +RF 76892/89.2/23, +FES 78456/85.7/27, HUNTER 77816/86.5/19.
+
+#include "bench/bench_ablation.h"
+
+int main() {
+  std::printf(
+      "## Table 5: ablation study on PostgreSQL with TPC-C (72 h)\n\n");
+  auto scenario = hunter::bench::PostgresTpcc();
+  hunter::bench::RunAblationTable(scenario, 60.0, "txn/min", 7);
+  std::printf("\npaper: DDPG 74456/95.7/43h ... HUNTER 77816/86.5/19h\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Prints the full knob catalogs (name, type, role, range, default, dynamic,
+// unit, description) as markdown — a generated reference for the README /
+// operators.
+
+#include <cstdio>
+
+#include "cdb/knob_catalog.h"
+
+namespace {
+
+const char* TypeName(hunter::cdb::KnobType type) {
+  switch (type) {
+    case hunter::cdb::KnobType::kInteger: return "int";
+    case hunter::cdb::KnobType::kDouble: return "double";
+    case hunter::cdb::KnobType::kEnum: return "enum";
+    case hunter::cdb::KnobType::kBool: return "bool";
+  }
+  return "?";
+}
+
+void PrintCatalog(const hunter::cdb::KnobCatalog& catalog) {
+  std::printf("\n## %s (%zu knobs)\n\n", catalog.dbms_name().c_str(),
+              catalog.size());
+  std::printf("| knob | type | range | default | dynamic | unit | description |\n");
+  std::printf("|---|---|---|---|---|---|---|\n");
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const hunter::cdb::KnobDef& def = catalog.knob(i);
+    std::printf("| `%s` | %s | [%.0f, %.0f] | %.0f | %s | %s | %s |\n",
+                def.name.c_str(), TypeName(def.type), def.min_value,
+                def.max_value, def.default_value,
+                def.dynamic ? "yes" : "restart", def.unit.c_str(),
+                def.description.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintCatalog(hunter::cdb::MySqlCatalog());
+  PrintCatalog(hunter::cdb::PostgresCatalog());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Clone-and-parallelize: the same HUNTER tuning run with 1 vs 10 cloned
+// CDB instances (§2.2). With k clones the Controller stress-tests k
+// configurations per round and charges only the slowest one to the clock,
+// which is what turns a ~10-hour recommendation into a ~1-hour one.
+
+#include <cstdio>
+#include <memory>
+
+#include "cdb/cdb_instance.h"
+#include "cdb/knob_catalog.h"
+#include "controller/controller.h"
+#include "hunter/hunter.h"
+#include "tuners/tuner.h"
+#include "workload/workloads.h"
+
+namespace {
+
+struct Run {
+  int clones;
+  double best_throughput;
+  double recommendation_hours;
+  size_t steps;
+};
+
+Run TuneWithClones(const hunter::cdb::KnobCatalog& catalog, int clones,
+                   double target_tps) {
+  using namespace hunter;
+  auto instance = std::make_unique<cdb::CdbInstance>(
+      &catalog, cdb::MySqlEvaluationInstance(), cdb::MySqlEngineTuning(), 42);
+  controller::ControllerOptions options;
+  options.num_clones = clones;
+  controller::Controller controller(std::move(instance), workload::Tpcc(),
+                                    options);
+  core::HunterTuner hunter(&catalog, core::Rules(), core::HunterOptions{}, 7);
+  tuners::HarnessOptions harness;
+  harness.budget_hours = 30.0;
+  harness.target_throughput = target_tps;  // HUNTER-* termination rule
+  const tuners::TuningResult result =
+      tuners::RunTuning(&hunter, &controller, harness);
+  return {clones, result.best_throughput, result.recommendation_hours,
+          result.steps};
+}
+
+}  // namespace
+
+int main() {
+  using namespace hunter;
+  cdb::KnobCatalog catalog = cdb::MySqlCatalog();
+
+  std::printf("tuning MySQL/TPC-C with HUNTER...\n\n");
+  const Run serial = TuneWithClones(catalog, 1, 0.0);
+  // The parallel run terminates once it exceeds 98% of the serial best.
+  const Run parallel = TuneWithClones(catalog, 10,
+                                      0.98 * serial.best_throughput);
+
+  std::printf("%8s %16s %20s %8s\n", "clones", "best (txn/min)",
+              "rec. time (hours)", "steps");
+  for (const Run& run : {serial, parallel}) {
+    std::printf("%8d %16.0f %20.1f %8zu\n", run.clones,
+                run.best_throughput * 60.0, run.recommendation_hours,
+                run.steps);
+  }
+  std::printf(
+      "\nspeedup from 10 clones: %.1fx less recommendation time at ~equal "
+      "throughput (the paper reports up to 22.8x with 20 clones).\n",
+      serial.recommendation_hours /
+          std::max(0.01, parallel.recommendation_hours));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Response-surface probe: measures the simulated cloud DBMS at its default
+// and a hand-tuned configuration for every evaluation workload. Useful to
+// sanity-check the engine calibration against the paper's absolute scales.
+#include "cdb/cdb_instance.h"
+#include "cdb/knob_catalog.h"
+#include "cdb/simulated_engine.h"
+#include "workload/workloads.h"
+
+using namespace hunter;
+
+static void Probe(const cdb::KnobCatalog& catalog, cdb::EngineTuning tuning,
+                  cdb::InstanceType inst, const cdb::WorkloadProfile& wl,
+                  const char* tag) {
+  common::Rng rng(7);
+  cdb::SimulatedEngine engine(&catalog, inst, tuning);
+  auto defaults = catalog.DefaultConfiguration();
+  auto run = [&](const cdb::Configuration& c, const char* name) {
+    common::Rng r(11);
+    double t = 0, l = 0;
+    for (int i = 0; i < 3; ++i) {
+      auto res = engine.Run(c, wl, true, &r);
+      t += res.throughput_tps; l += res.latency_p95_ms;
+    }
+    printf("  %-28s T=%9.1f tps (%9.0f txn/min)  p95=%8.1f ms\n", name, t/3,
+           t/3*60, l/3);
+  };
+  printf("%s [%s on %s, %d cores %.0fGB]:\n", tag, wl.name.c_str(),
+         catalog.dbms_name().c_str(), inst.cpu_cores, inst.ram_gb);
+  run(defaults, "defaults");
+  // Hand-tuned config.
+  auto tuned = defaults;
+  auto set = [&](const char* n, double v) {
+    int i = catalog.IndexOf(n);
+    if (i >= 0) tuned[(size_t)i] = v;
+  };
+  if (catalog.dbms_name() == "mysql") {
+    set("innodb_buffer_pool_size", inst.ram_gb * 1024 * 0.7);
+    set("innodb_flush_log_at_trx_commit", 2);
+    set("sync_binlog", 1000);
+    set("innodb_log_file_size", 2048);
+    set("innodb_log_buffer_size", 256);
+    set("innodb_io_capacity", 10000);
+    set("innodb_io_capacity_max", 20000);
+    set("innodb_thread_concurrency", 40);
+    set("max_connections", 2000);
+    set("innodb_buffer_pool_instances", 8);
+    set("innodb_read_io_threads", 16);
+    set("innodb_write_io_threads", 16);
+    set("thread_cache_size", 200);
+    set("innodb_flush_method", 2);
+    set("innodb_lru_scan_depth", 2048);
+    set("table_open_cache", 4000);
+  } else {
+    set("shared_buffers", inst.ram_gb * 1024 * 0.6);
+    set("synchronous_commit", 0);
+    set("max_wal_size", 8192);
+    set("wal_buffers", 256);
+    set("bgwriter_lru_maxpages", 8000);
+    set("max_parallel_workers", 40);
+    set("max_connections", 2000);
+    set("effective_io_concurrency", 16);
+  }
+  run(tuned, "hand-tuned");
+}
+
+int main() {
+  auto my = cdb::MySqlCatalog();
+  auto pg = cdb::PostgresCatalog();
+  Probe(my, cdb::MySqlEngineTuning(), cdb::MySqlEvaluationInstance(), workload::Tpcc(), "TPC-C");
+  Probe(my, cdb::MySqlEngineTuning(), cdb::MySqlEvaluationInstance(), workload::SysbenchReadWrite(), "SB-RW");
+  Probe(my, cdb::MySqlEngineTuning(), cdb::MySqlEvaluationInstance(), workload::SysbenchWriteOnly(), "SB-WO");
+  Probe(my, cdb::MySqlEngineTuning(), cdb::MySqlEvaluationInstance(), workload::SysbenchReadOnly(), "SB-RO");
+  Probe(pg, cdb::PostgresEngineTuning(), cdb::PostgresEvaluationInstance(), workload::Tpcc(), "TPC-C");
+  Probe(my, cdb::MySqlEngineTuning(), cdb::ProductionEvaluationInstance(), workload::Production(true), "PROD");
+  return 0;
+}

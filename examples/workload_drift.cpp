@@ -1,0 +1,72 @@
+// Workload drift and replay (§2.1, §5): build a replayable workload from a
+// captured production trace using the transactions-dependency graph, tune
+// on it, then handle a drift (the 9 pm capture) — the learning-based tuner
+// recovers quickly because its model and pool survive the drift.
+
+#include <cstdio>
+#include <memory>
+
+#include "cdb/cdb_instance.h"
+#include "cdb/knob_catalog.h"
+#include "controller/controller.h"
+#include "hunter/hunter.h"
+#include "tuners/tuner.h"
+#include "workload/dependency_graph.h"
+#include "workload/workload_generator.h"
+#include "workload/workloads.h"
+
+int main() {
+  using namespace hunter;
+
+  // 1. The Workload Generator captures a window of transactions from the
+  //    user's instance and builds the dependency-graph replay schedule.
+  common::Rng rng(11);
+  workload::CaptureWindow window;
+  window.num_txns = 4000;
+  window.reads_per_txn = 5.0;
+  window.writes_per_txn = 5.0;
+  const workload::GeneratedWorkload generated = workload::WorkloadGenerator::
+      Build(workload::Production(true), window, &rng);
+  std::printf("captured %zu transactions from the 9 am window\n",
+              window.num_txns);
+  std::printf(
+      "dependency-graph replay: effective parallelism %.1f (arrival-order "
+      "replay: %.0f), critical path %zu waves\n",
+      generated.dag_parallelism, generated.arrival_order_parallelism,
+      generated.critical_path);
+
+  // 2. Tune on the replayed workload.
+  cdb::KnobCatalog catalog = cdb::MySqlCatalog();
+  auto instance = std::make_unique<cdb::CdbInstance>(
+      &catalog, cdb::ProductionEvaluationInstance(), cdb::MySqlEngineTuning(),
+      42);
+  controller::ControllerOptions options;
+  options.num_clones = 4;
+  controller::Controller controller(std::move(instance), generated.profile,
+                                    options);
+  core::HunterTuner hunter(&catalog, core::Rules(), core::HunterOptions{}, 7);
+  tuners::HarnessOptions harness;
+  harness.budget_hours = 10.0;
+  const tuners::TuningResult before =
+      tuners::RunTuning(&hunter, &controller, harness);
+  std::printf("\nbefore drift: best %.0f txn/s after %.1f h\n",
+              before.best_throughput, before.recommendation_hours);
+
+  // 3. Drift: the evening workload replaces the morning one. The tuner's
+  //    model and Shared Pool survive; only the Eq-1 baseline re-measures.
+  controller.SetWorkload(workload::Production(false));
+  std::printf("\n-- workload drift: 9 am capture -> 9 pm capture --\n");
+  tuners::HarnessOptions harness_after;
+  harness_after.budget_hours = controller.clock().hours() + 6.0;
+  const tuners::TuningResult after =
+      tuners::RunTuning(&hunter, &controller, harness_after);
+  std::printf(
+      "after drift: recovered to %.0f txn/s within %.1f h of the drift\n",
+      after.best_throughput,
+      after.recommendation_hours - before.curve.back().hours);
+  std::printf(
+      "\nthe warm model makes re-tuning after a drift much cheaper than the "
+      "original cold start (§5: learning-based methods bounce back "
+      "quickly).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "cdb/buffer_pool.h"
+
+#include <algorithm>
+
+namespace hunter::cdb {
+
+BufferPool::BufferPool(uint64_t capacity_pages)
+    : capacity_(std::max<uint64_t>(1, capacity_pages)) {
+  entries_.reserve(capacity_);
+}
+
+bool BufferPool::Access(uint64_t page_id, bool make_dirty) {
+  auto it = entries_.find(page_id);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(page_id);
+    it->second.lru_pos = lru_.begin();
+    if (make_dirty && !it->second.dirty) {
+      it->second.dirty = true;
+      ++dirty_count_;
+    }
+    return true;
+  }
+  ++misses_;
+  if (entries_.size() >= capacity_) EvictOne();
+  lru_.push_front(page_id);
+  Entry entry;
+  entry.lru_pos = lru_.begin();
+  entry.dirty = make_dirty;
+  if (make_dirty) ++dirty_count_;
+  entries_.emplace(page_id, entry);
+  return false;
+}
+
+void BufferPool::EvictOne() {
+  const uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = entries_.find(victim);
+  if (it->second.dirty) {
+    ++dirty_evictions_;
+    --dirty_count_;
+  }
+  entries_.erase(it);
+}
+
+uint64_t BufferPool::FlushDirty(uint64_t max_pages) {
+  uint64_t cleaned = 0;
+  // Clean from the cold end of the LRU, as page cleaners do.
+  for (auto it = lru_.rbegin(); it != lru_.rend() && cleaned < max_pages; ++it) {
+    auto entry = entries_.find(*it);
+    if (entry->second.dirty) {
+      entry->second.dirty = false;
+      --dirty_count_;
+      ++cleaned;
+    }
+  }
+  return cleaned;
+}
+
+double BufferPool::HitRatio() const {
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+double BufferPool::DirtyFraction() const {
+  return entries_.empty()
+             ? 0.0
+             : static_cast<double>(dirty_count_) /
+                   static_cast<double>(entries_.size());
+}
+
+void BufferPool::ResetCounters() {
+  hits_ = 0;
+  misses_ = 0;
+  dirty_evictions_ = 0;
+}
+
+void BufferPool::Prewarm(uint64_t n) {
+  const uint64_t count = std::min(n, capacity_);
+  for (uint64_t page = 0; page < count; ++page) {
+    if (entries_.find(page) == entries_.end()) {
+      if (entries_.size() >= capacity_) EvictOne();
+      lru_.push_back(page);  // prewarmed pages are colder than live traffic
+      Entry entry;
+      entry.lru_pos = std::prev(lru_.end());
+      entries_.emplace(page, entry);
+    }
+  }
+}
+
+}  // namespace hunter::cdb

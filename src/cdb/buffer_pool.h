@@ -1,0 +1,66 @@
+// A real LRU buffer pool used by the simulated engine.
+//
+// The engine streams sampled page accesses through this structure to obtain
+// an *emergent* hit ratio (rather than a closed-form one), so that buffer
+// pool sizing shows the realistic concave improvement curve the tuners must
+// discover, including skew effects (a small pool still captures a Zipfian
+// head) and working-set plateaus.
+
+#ifndef HUNTER_CDB_BUFFER_POOL_H_
+#define HUNTER_CDB_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace hunter::cdb {
+
+class BufferPool {
+ public:
+  explicit BufferPool(uint64_t capacity_pages);
+
+  // Touches a page: returns true on hit. On miss, the page is installed and
+  // the LRU victim evicted (a dirty victim counts as a flush-on-evict).
+  // `make_dirty` marks the page dirty (a write access).
+  bool Access(uint64_t page_id, bool make_dirty);
+
+  // Background flushing: cleans up to `max_pages` dirty pages (oldest
+  // first), returning how many were cleaned.
+  uint64_t FlushDirty(uint64_t max_pages);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t resident_pages() const { return entries_.size(); }
+  uint64_t dirty_pages() const { return dirty_count_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t dirty_evictions() const { return dirty_evictions_; }
+
+  double HitRatio() const;
+  double DirtyFraction() const;
+
+  void ResetCounters();
+
+  // Pre-warms the pool with pages [0, n) — models the CDB warm-up function
+  // that reloads the buffer pool from disk after a restart (§5).
+  void Prewarm(uint64_t n);
+
+ private:
+  struct Entry {
+    std::list<uint64_t>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  void EvictOne();
+
+  uint64_t capacity_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t dirty_count_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t dirty_evictions_ = 0;
+};
+
+}  // namespace hunter::cdb
+
+#endif  // HUNTER_CDB_BUFFER_POOL_H_

@@ -1,0 +1,26 @@
+#include "cdb/fitness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hunter::cdb {
+
+double Fitness(double alpha, const PerformanceSummary& current,
+               const PerformanceSummary& defaults) {
+  if (current.throughput_tps <= -1000.0 ||
+      !std::isfinite(current.latency_p95_ms) ||
+      !std::isfinite(current.throughput_tps)) {
+    return kBootFailureFitness;
+  }
+  const double t_def = std::max(1e-9, defaults.throughput_tps);
+  const double l_def = std::max(1e-9, defaults.latency_p95_ms);
+  const double throughput_gain =
+      (current.throughput_tps - defaults.throughput_tps) / t_def;
+  const double latency_gain =
+      (defaults.latency_p95_ms - current.latency_p95_ms) / l_def;
+  const double fitness =
+      alpha * throughput_gain + (1.0 - alpha) * latency_gain;
+  return std::max(fitness, kBootFailureFitness);
+}
+
+}  // namespace hunter::cdb

@@ -1,0 +1,31 @@
+// The paper's fitness / reward function (Equation 1):
+//
+//   f(K_i) = alpha * (T_cur - T_def) / T_def
+//          + (1 - alpha) * (L_def - L_cur) / L_def
+//
+// shared verbatim between the GA Sample Factory's fitness and the DDPG
+// Recommender's reward ("the reward function is calculated in the same way
+// as the fitness function", §3.3). alpha is user-adjustable via Rules.
+
+#ifndef HUNTER_CDB_FITNESS_H_
+#define HUNTER_CDB_FITNESS_H_
+
+namespace hunter::cdb {
+
+struct PerformanceSummary {
+  double throughput_tps = 0.0;
+  double latency_p95_ms = 0.0;
+};
+
+// Equation 1. Boot failures (throughput <= -1000 or non-finite latency) are
+// clamped to a large negative fitness so they are strongly avoided without
+// destabilizing learning with infinities.
+double Fitness(double alpha, const PerformanceSummary& current,
+               const PerformanceSummary& defaults);
+
+// Lower bound assigned to failed configurations.
+inline constexpr double kBootFailureFitness = -2.0;
+
+}  // namespace hunter::cdb
+
+#endif  // HUNTER_CDB_FITNESS_H_

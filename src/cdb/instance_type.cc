@@ -1,0 +1,47 @@
+#include "cdb/instance_type.h"
+
+#include <cmath>
+
+namespace hunter::cdb {
+
+namespace {
+
+InstanceType Make(const char* name, int cores, double ram_gb) {
+  InstanceType type;
+  type.name = name;
+  type.cpu_cores = cores;
+  type.ram_gb = ram_gb;
+  // Larger cloud instances get proportionally better provisioned IO,
+  // sublinearly (matching typical cloud volume tiers).
+  const double scale = std::sqrt(static_cast<double>(cores) / 8.0);
+  type.disk_read_iops = 40000 * scale;
+  type.disk_write_iops = 20000 * scale;
+  return type;
+}
+
+}  // namespace
+
+std::vector<InstanceType> Table7InstanceTypes() {
+  return {
+      Make("A", 1, 2),  Make("B", 4, 8),  Make("C", 4, 12), Make("D", 4, 16),
+      Make("E", 6, 24), Make("F", 8, 32), Make("G", 8, 48), Make("H", 16, 64),
+  };
+}
+
+InstanceType InstanceTypeByName(const std::string& name) {
+  for (const InstanceType& type : Table7InstanceTypes()) {
+    if (type.name == name) return type;
+  }
+  return Make("F", 8, 32);
+}
+
+InstanceType MySqlEvaluationInstance() { return Make("F", 8, 32); }
+
+InstanceType PostgresEvaluationInstance() {
+  InstanceType type = Make("pg", 8, 16);
+  return type;
+}
+
+InstanceType ProductionEvaluationInstance() { return Make("D", 4, 16); }
+
+}  // namespace hunter::cdb

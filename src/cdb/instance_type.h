@@ -1,0 +1,38 @@
+// Cloud database instance types (the paper's Table 7, types A-H) plus the
+// instance shapes used in the main evaluation (§6: MySQL 8c/32GB,
+// PostgreSQL 8c/16GB, Production MySQL 4c/16GB).
+
+#ifndef HUNTER_CDB_INSTANCE_TYPE_H_
+#define HUNTER_CDB_INSTANCE_TYPE_H_
+
+#include <string>
+#include <vector>
+
+namespace hunter::cdb {
+
+struct InstanceType {
+  std::string name;
+  int cpu_cores = 8;
+  double ram_gb = 32.0;
+  // Storage characteristics are not varied in Table 7; the cloud SSD tier
+  // is modeled as fixed per-instance bandwidth scaled mildly with size.
+  double disk_read_iops = 40000;
+  double disk_write_iops = 20000;
+  double fsync_latency_ms = 0.8;  // network-attached cloud storage
+};
+
+// Table 7: A(1c,2G) B(4c,8G) C(4c,12G) D(4c,16G) E(6c,24G) F(8c,32G)
+// G(8c,48G) H(16c,64G).
+std::vector<InstanceType> Table7InstanceTypes();
+
+// Named lookup into Table 7 ("A".."H"); falls back to F.
+InstanceType InstanceTypeByName(const std::string& name);
+
+// Instance shapes from §6's experimental setup.
+InstanceType MySqlEvaluationInstance();      // 8 cores, 32 GB (type F)
+InstanceType PostgresEvaluationInstance();   // 8 cores, 16 GB
+InstanceType ProductionEvaluationInstance(); // 4 cores, 16 GB (type D)
+
+}  // namespace hunter::cdb
+
+#endif  // HUNTER_CDB_INSTANCE_TYPE_H_

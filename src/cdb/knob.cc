@@ -1,0 +1,103 @@
+#include "cdb/knob.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hunter::cdb {
+
+KnobCatalog::KnobCatalog(std::string dbms_name, std::vector<KnobDef> knobs)
+    : dbms_name_(std::move(dbms_name)), knobs_(std::move(knobs)) {
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    index_by_name_.emplace(knobs_[i].name, i);
+  }
+}
+
+int KnobCatalog::IndexOf(const std::string& name) const {
+  const auto it = index_by_name_.find(name);
+  return it == index_by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+int KnobCatalog::IndexOfRole(KnobRole role) const {
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    if (knobs_[i].role == role) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Configuration KnobCatalog::DefaultConfiguration() const {
+  Configuration config(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    config[i] = knobs_[i].default_value;
+  }
+  return config;
+}
+
+double KnobCatalog::Normalize(size_t index, double raw_value) const {
+  const KnobDef& def = knobs_[index];
+  const double clamped = std::clamp(raw_value, def.min_value, def.max_value);
+  if (def.log_scale) {
+    // Shift so the domain is >= 1 before taking logs.
+    const double shift = 1.0 - def.min_value;
+    const double lo = std::log(def.min_value + shift);
+    const double hi = std::log(def.max_value + shift);
+    if (hi <= lo) return 0.0;
+    return (std::log(clamped + shift) - lo) / (hi - lo);
+  }
+  if (def.max_value <= def.min_value) return 0.0;
+  return (clamped - def.min_value) / (def.max_value - def.min_value);
+}
+
+double KnobCatalog::Denormalize(size_t index, double normalized) const {
+  const KnobDef& def = knobs_[index];
+  const double t = std::clamp(normalized, 0.0, 1.0);
+  double raw = 0.0;
+  if (def.log_scale) {
+    const double shift = 1.0 - def.min_value;
+    const double lo = std::log(def.min_value + shift);
+    const double hi = std::log(def.max_value + shift);
+    raw = std::exp(lo + t * (hi - lo)) - shift;
+  } else {
+    raw = def.min_value + t * (def.max_value - def.min_value);
+  }
+  return Snap(index, raw);
+}
+
+double KnobCatalog::Snap(size_t index, double raw_value) const {
+  const KnobDef& def = knobs_[index];
+  double snapped = std::clamp(raw_value, def.min_value, def.max_value);
+  switch (def.type) {
+    case KnobType::kDouble:
+      break;
+    case KnobType::kInteger:
+      snapped = std::round(snapped);
+      break;
+    case KnobType::kEnum:
+    case KnobType::kBool:
+      snapped = std::floor(snapped + 0.5);
+      break;
+  }
+  return std::clamp(snapped, def.min_value, def.max_value);
+}
+
+std::vector<double> KnobCatalog::NormalizeConfiguration(
+    const Configuration& config) const {
+  assert(config.size() == knobs_.size());
+  std::vector<double> normalized(config.size());
+  for (size_t i = 0; i < config.size(); ++i) {
+    normalized[i] = Normalize(i, config[i]);
+  }
+  return normalized;
+}
+
+Configuration KnobCatalog::DenormalizeConfiguration(
+    const std::vector<double>& normalized) const {
+  assert(normalized.size() == knobs_.size());
+  Configuration config(normalized.size());
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    config[i] = Denormalize(i, normalized[i]);
+  }
+  return config;
+}
+
+}  // namespace hunter::cdb

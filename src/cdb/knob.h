@@ -1,0 +1,112 @@
+// Typed knob definitions and configurations.
+//
+// A KnobDef describes one tunable DBMS parameter: its domain (integer,
+// double, enum, bool), range, default, whether it is *dynamic* (changeable
+// without a restart — the paper's availability discussion hinges on this),
+// and its *role*: the physical mechanism it drives inside the simulated
+// engine. Roles let one engine implementation serve both the MySQL-style and
+// PostgreSQL-style catalogs, mirroring how the paper tunes both systems with
+// one tuner.
+//
+// All tuning algorithms operate on normalized configurations in [0,1]^m;
+// KnobCatalog converts between normalized and raw values (log-scaled for
+// knobs spanning orders of magnitude) and snaps integers/enums.
+
+#ifndef HUNTER_CDB_KNOB_H_
+#define HUNTER_CDB_KNOB_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hunter::cdb {
+
+enum class KnobType { kInteger, kDouble, kEnum, kBool };
+
+// The physical mechanism a knob drives in the simulated engine. Knobs with
+// kGeneric get a small, smooth, workload-dependent effect so that the long
+// tail of 40+ minor knobs exists (needed for the Fig. 8 knob-sifting knee)
+// without each one requiring bespoke physics.
+enum class KnobRole {
+  kBufferPoolSize,      // cache capacity (MB)
+  kFlushPolicy,         // 0: no sync, 1: sync every commit, 2: sync ~1/s
+  kBinlogSync,          // sync binlog every N commits (0 = never)
+  kLogFileSize,         // redo capacity (MB) -> checkpoint pressure
+  kLogBufferSize,       // log buffer (MB) -> log waits
+  kIoCapacity,          // background flush IOPS
+  kIoCapacityMax,       // burst flush IOPS
+  kThreadConcurrency,   // kernel thread cap (0 = unlimited)
+  kMaxConnections,      // connection cap
+  kBufferPoolInstances, // latch partitioning
+  kReadIoThreads,       // read IO parallelism
+  kWriteIoThreads,      // write IO parallelism
+  kThreadCache,         // connection/thread reuse
+  kFlushMethod,         // 0 buffered, 1 dsync, 2 O_DIRECT
+  kAdaptiveHash,        // bool: read CPU boost, write latch cost
+  kChangeBuffering,     // bool-ish: secondary index write buffering
+  kMaxDirtyPct,         // dirty-page stall threshold (%)
+  kLruScanDepth,        // page-cleaner efficiency
+  kLockWaitTimeout,     // seconds a txn waits for a row lock
+  kDeadlockDetect,      // bool: active deadlock detection
+  kTableCache,          // table/metadata cache entries
+  kDoubleWrite,         // bool: doublewrite / full-page-writes overhead
+  kGeneric,             // minor knob with a generic smooth effect
+};
+
+struct KnobDef {
+  std::string name;
+  KnobType type = KnobType::kDouble;
+  KnobRole role = KnobRole::kGeneric;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  double default_value = 0.0;
+  bool dynamic = true;       // false => restart required to take effect
+  bool log_scale = false;    // normalize in log space (wide-range knobs)
+  std::string unit;
+  std::vector<std::string> enum_values;  // for kEnum (indices 0..n-1)
+  std::string description;
+};
+
+// A raw configuration: one value per catalog knob, in catalog order.
+using Configuration = std::vector<double>;
+
+class KnobCatalog {
+ public:
+  KnobCatalog() = default;
+  explicit KnobCatalog(std::string dbms_name, std::vector<KnobDef> knobs);
+
+  const std::string& dbms_name() const { return dbms_name_; }
+  size_t size() const { return knobs_.size(); }
+  const KnobDef& knob(size_t index) const { return knobs_[index]; }
+  const std::vector<KnobDef>& knobs() const { return knobs_; }
+
+  // Index of a knob by name; -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  // First knob with the given role; -1 if absent.
+  int IndexOfRole(KnobRole role) const;
+
+  // The DBMS's default configuration.
+  Configuration DefaultConfiguration() const;
+
+  // Normalized [0,1] <-> raw conversions. Raw values are snapped to the
+  // knob's domain (integers rounded, enums/bools floored into range).
+  double Normalize(size_t index, double raw_value) const;
+  double Denormalize(size_t index, double normalized) const;
+  std::vector<double> NormalizeConfiguration(const Configuration& config) const;
+  Configuration DenormalizeConfiguration(
+      const std::vector<double>& normalized) const;
+
+  // Snaps a raw value into the knob's domain and granularity.
+  double Snap(size_t index, double raw_value) const;
+
+ private:
+  std::string dbms_name_;
+  std::vector<KnobDef> knobs_;
+  std::unordered_map<std::string, size_t> index_by_name_;
+};
+
+}  // namespace hunter::cdb
+
+#endif  // HUNTER_CDB_KNOB_H_

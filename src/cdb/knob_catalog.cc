@@ -1,0 +1,301 @@
+#include "cdb/knob_catalog.h"
+
+namespace hunter::cdb {
+
+namespace {
+
+// Shorthand builders keep the 130 knob definitions readable.
+
+KnobDef IntKnob(const char* name, KnobRole role, double min, double max,
+                double def, bool dynamic, bool log_scale, const char* unit,
+                const char* description) {
+  KnobDef knob;
+  knob.name = name;
+  knob.type = KnobType::kInteger;
+  knob.role = role;
+  knob.min_value = min;
+  knob.max_value = max;
+  knob.default_value = def;
+  knob.dynamic = dynamic;
+  knob.log_scale = log_scale;
+  knob.unit = unit;
+  knob.description = description;
+  return knob;
+}
+
+KnobDef BoolKnob(const char* name, KnobRole role, bool def, bool dynamic,
+                 const char* description) {
+  KnobDef knob;
+  knob.name = name;
+  knob.type = KnobType::kBool;
+  knob.role = role;
+  knob.min_value = 0;
+  knob.max_value = 1;
+  knob.default_value = def ? 1 : 0;
+  knob.dynamic = dynamic;
+  knob.enum_values = {"OFF", "ON"};
+  knob.description = description;
+  return knob;
+}
+
+KnobDef EnumKnob(const char* name, KnobRole role,
+                 std::vector<std::string> values, double def, bool dynamic,
+                 const char* description) {
+  KnobDef knob;
+  knob.name = name;
+  knob.type = KnobType::kEnum;
+  knob.role = role;
+  knob.min_value = 0;
+  knob.max_value = static_cast<double>(values.size()) - 1;
+  knob.default_value = def;
+  knob.dynamic = dynamic;
+  knob.enum_values = std::move(values);
+  knob.description = description;
+  return knob;
+}
+
+// A minor knob with the generic smooth effect (see SimulatedEngine).
+KnobDef Minor(const char* name, double min, double max, double def,
+              bool dynamic, bool log_scale, const char* unit) {
+  return IntKnob(name, KnobRole::kGeneric, min, max, def, dynamic, log_scale,
+                 unit, "minor knob with a small smooth performance effect");
+}
+
+}  // namespace
+
+KnobCatalog MySqlCatalog() {
+  std::vector<KnobDef> knobs;
+  knobs.reserve(65);
+
+  // ---- Knobs with bespoke physics in the simulated engine (22). ----
+  knobs.push_back(IntKnob("innodb_buffer_pool_size", KnobRole::kBufferPoolSize,
+                          128, 49152, 128, true, true, "MB",
+                          "size of the InnoDB buffer pool"));
+  knobs.push_back(EnumKnob("innodb_flush_log_at_trx_commit",
+                           KnobRole::kFlushPolicy, {"0", "1", "2"}, 1, true,
+                           "redo durability: 0 none, 1 fsync/commit, 2 per second"));
+  knobs.push_back(IntKnob("sync_binlog", KnobRole::kBinlogSync, 0, 1000, 1,
+                          true, true, "commits",
+                          "fsync the binlog every N commits (0 = OS-managed)"));
+  knobs.push_back(IntKnob("innodb_log_file_size", KnobRole::kLogFileSize, 48,
+                          8192, 48, false, true, "MB",
+                          "redo log segment size; small logs force checkpoints"));
+  knobs.push_back(IntKnob("innodb_log_buffer_size", KnobRole::kLogBufferSize,
+                          1, 1024, 16, false, true, "MB",
+                          "in-memory redo buffer; undersizing causes log waits"));
+  knobs.push_back(IntKnob("innodb_io_capacity", KnobRole::kIoCapacity, 100,
+                          20000, 200, true, true, "IOPS",
+                          "background flush rate budget"));
+  knobs.push_back(IntKnob("innodb_io_capacity_max", KnobRole::kIoCapacityMax,
+                          200, 40000, 2000, true, true, "IOPS",
+                          "burst flush rate budget under pressure"));
+  knobs.push_back(IntKnob("innodb_thread_concurrency",
+                          KnobRole::kThreadConcurrency, 0, 256, 0, true, false,
+                          "threads", "InnoDB kernel thread cap (0 = unlimited)"));
+  knobs.push_back(IntKnob("max_connections", KnobRole::kMaxConnections, 100,
+                          10000, 151, true, true, "conns",
+                          "maximum simultaneous client connections"));
+  knobs.push_back(IntKnob("innodb_buffer_pool_instances",
+                          KnobRole::kBufferPoolInstances, 1, 64, 1, false,
+                          false, "", "buffer pool latch partitions"));
+  knobs.push_back(IntKnob("innodb_read_io_threads", KnobRole::kReadIoThreads,
+                          1, 64, 4, false, false, "threads",
+                          "background read IO threads"));
+  knobs.push_back(IntKnob("innodb_write_io_threads", KnobRole::kWriteIoThreads,
+                          1, 64, 4, false, false, "threads",
+                          "background write IO threads"));
+  knobs.push_back(IntKnob("thread_cache_size", KnobRole::kThreadCache, 0, 1000,
+                          9, true, true, "threads",
+                          "cached server threads for connection reuse"));
+  knobs.push_back(EnumKnob("innodb_flush_method", KnobRole::kFlushMethod,
+                           {"fsync", "O_DSYNC", "O_DIRECT"}, 0, false,
+                           "data file flush method; O_DIRECT avoids double buffering"));
+  knobs.push_back(BoolKnob("innodb_adaptive_hash_index",
+                           KnobRole::kAdaptiveHash, true, true,
+                           "hash index over hot B-tree pages (read boost, latch cost)"));
+  knobs.push_back(EnumKnob("innodb_change_buffering",
+                           KnobRole::kChangeBuffering,
+                           {"none", "inserts", "all"}, 2, true,
+                           "buffer secondary index changes"));
+  knobs.push_back(IntKnob("innodb_max_dirty_pages_pct", KnobRole::kMaxDirtyPct,
+                          5, 99, 75, true, false, "%",
+                          "dirty-page ratio that triggers aggressive flushing"));
+  knobs.push_back(IntKnob("innodb_lru_scan_depth", KnobRole::kLruScanDepth,
+                          100, 10000, 1024, true, true, "pages",
+                          "page-cleaner scan depth per pool instance"));
+  knobs.push_back(IntKnob("innodb_lock_wait_timeout",
+                          KnobRole::kLockWaitTimeout, 1, 300, 50, true, false,
+                          "s", "row-lock wait timeout"));
+  knobs.push_back(BoolKnob("innodb_deadlock_detect", KnobRole::kDeadlockDetect,
+                           true, true,
+                           "active deadlock detection (CPU cost at high conflict)"));
+  knobs.push_back(IntKnob("table_open_cache", KnobRole::kTableCache, 100,
+                          10000, 2000, true, true, "tables",
+                          "open table descriptor cache"));
+  knobs.push_back(BoolKnob("innodb_doublewrite", KnobRole::kDoubleWrite, true,
+                           false, "doublewrite buffer (write amplification)"));
+
+  // ---- Minor knobs with generic smooth effects (43). ----
+  knobs.push_back(Minor("sort_buffer_size", 32, 16384, 256, true, true, "KB"));
+  knobs.push_back(Minor("join_buffer_size", 128, 16384, 256, true, true, "KB"));
+  knobs.push_back(Minor("read_buffer_size", 8, 2048, 128, true, true, "KB"));
+  knobs.push_back(Minor("read_rnd_buffer_size", 8, 2048, 256, true, true, "KB"));
+  knobs.push_back(Minor("tmp_table_size", 1, 1024, 16, true, true, "MB"));
+  knobs.push_back(Minor("max_heap_table_size", 1, 1024, 16, true, true, "MB"));
+  knobs.push_back(Minor("binlog_cache_size", 4, 4096, 32, true, true, "KB"));
+  knobs.push_back(Minor("binlog_stmt_cache_size", 4, 4096, 32, true, true, "KB"));
+  knobs.push_back(Minor("key_buffer_size", 8, 4096, 8, true, true, "MB"));
+  knobs.push_back(Minor("bulk_insert_buffer_size", 0, 1024, 8, true, false, "MB"));
+  knobs.push_back(Minor("open_files_limit", 1024, 65536, 5000, false, true, "files"));
+  knobs.push_back(Minor("table_definition_cache", 400, 8192, 1400, true, true, "defs"));
+  knobs.push_back(Minor("back_log", 50, 4096, 80, false, true, "conns"));
+  knobs.push_back(Minor("thread_stack", 128, 2048, 256, false, false, "KB"));
+  knobs.push_back(Minor("interactive_timeout", 60, 28800, 28800, true, true, "s"));
+  knobs.push_back(Minor("wait_timeout", 60, 28800, 28800, true, true, "s"));
+  knobs.push_back(Minor("net_buffer_length", 1, 1024, 16, true, true, "KB"));
+  knobs.push_back(Minor("max_allowed_packet", 1, 1024, 4, true, true, "MB"));
+  knobs.push_back(Minor("innodb_purge_threads", 1, 32, 4, false, false, "threads"));
+  knobs.push_back(Minor("innodb_page_cleaners", 1, 64, 1, false, false, "threads"));
+  knobs.push_back(Minor("innodb_sync_spin_loops", 0, 100, 30, true, false, "loops"));
+  knobs.push_back(Minor("innodb_spin_wait_delay", 0, 60, 6, true, false, ""));
+  knobs.push_back(Minor("innodb_autoinc_lock_mode", 0, 2, 1, false, false, ""));
+  knobs.push_back(Minor("innodb_stats_persistent_sample_pages", 1, 200, 20, true, false, "pages"));
+  knobs.push_back(Minor("innodb_old_blocks_pct", 5, 95, 37, true, false, "%"));
+  knobs.push_back(Minor("innodb_old_blocks_time", 0, 10000, 1000, true, true, "ms"));
+  knobs.push_back(Minor("innodb_read_ahead_threshold", 0, 64, 56, true, false, "pages"));
+  knobs.push_back(Minor("innodb_random_read_ahead", 0, 1, 0, true, false, ""));
+  knobs.push_back(Minor("innodb_flush_neighbors", 0, 2, 1, true, false, ""));
+  knobs.push_back(Minor("innodb_fill_factor", 50, 100, 100, true, false, "%"));
+  knobs.push_back(Minor("innodb_autoextend_increment", 1, 1000, 64, true, true, "MB"));
+  knobs.push_back(Minor("innodb_concurrency_tickets", 1, 100000, 5000, true, true, "tickets"));
+  knobs.push_back(Minor("innodb_commit_concurrency", 0, 1000, 0, false, false, "threads"));
+  knobs.push_back(Minor("innodb_sync_array_size", 1, 1024, 1, false, true, ""));
+  knobs.push_back(Minor("innodb_rollback_segments", 1, 128, 128, true, false, "segments"));
+  knobs.push_back(Minor("innodb_purge_batch_size", 1, 5000, 300, false, true, "pages"));
+  knobs.push_back(Minor("innodb_max_purge_lag", 0, 1000000, 0, true, true, "txns"));
+  knobs.push_back(Minor("innodb_adaptive_flushing_lwm", 0, 70, 10, true, false, "%"));
+  knobs.push_back(Minor("innodb_flushing_avg_loops", 1, 1000, 30, true, true, "loops"));
+  knobs.push_back(Minor("innodb_change_buffer_max_size", 0, 50, 25, true, false, "%"));
+  knobs.push_back(Minor("eq_range_index_dive_limit", 0, 1000, 200, true, false, ""));
+  knobs.push_back(Minor("metadata_locks_cache_size", 1, 1048576, 1024, false, true, ""));
+  knobs.push_back(Minor("query_prealloc_size", 8, 1024, 8, true, true, "KB"));
+
+  return KnobCatalog("mysql", std::move(knobs));
+}
+
+KnobCatalog PostgresCatalog() {
+  std::vector<KnobDef> knobs;
+  knobs.reserve(65);
+
+  // ---- Knobs with bespoke physics (22), mapped to the same roles. ----
+  knobs.push_back(IntKnob("shared_buffers", KnobRole::kBufferPoolSize, 128,
+                          24576, 128, false, true, "MB",
+                          "shared buffer cache size"));
+  knobs.push_back(EnumKnob("synchronous_commit", KnobRole::kFlushPolicy,
+                           {"off", "on", "local"}, 1, true,
+                           "WAL durability per commit"));
+  knobs.push_back(IntKnob("commit_delay", KnobRole::kBinlogSync, 0, 1000, 0,
+                          true, true, "us",
+                          "group-commit delay before WAL flush"));
+  knobs.push_back(IntKnob("max_wal_size", KnobRole::kLogFileSize, 64, 16384,
+                          1024, true, true, "MB",
+                          "WAL size that triggers a checkpoint"));
+  knobs.push_back(IntKnob("wal_buffers", KnobRole::kLogBufferSize, 1, 1024, 4,
+                          false, true, "MB", "in-memory WAL buffer"));
+  knobs.push_back(IntKnob("bgwriter_lru_maxpages", KnobRole::kIoCapacity, 0,
+                          10000, 100, true, true, "pages",
+                          "background writer pages per round"));
+  knobs.push_back(IntKnob("bgwriter_lru_multiplier_x10",
+                          KnobRole::kIoCapacityMax, 1, 100, 20, true, false,
+                          "x0.1", "background writer lookahead multiplier"));
+  knobs.push_back(IntKnob("max_parallel_workers", KnobRole::kThreadConcurrency,
+                          0, 128, 8, true, false, "workers",
+                          "parallel worker cap (0 = serial only)"));
+  knobs.push_back(IntKnob("max_connections", KnobRole::kMaxConnections, 100,
+                          10000, 100, false, true, "conns",
+                          "maximum simultaneous client connections"));
+  knobs.push_back(IntKnob("num_buffer_partitions",
+                          KnobRole::kBufferPoolInstances, 1, 128, 16, false,
+                          false, "", "buffer mapping lock partitions"));
+  knobs.push_back(IntKnob("effective_io_concurrency", KnobRole::kReadIoThreads,
+                          1, 1000, 1, true, true, "",
+                          "expected concurrent IO operations"));
+  knobs.push_back(IntKnob("max_worker_processes", KnobRole::kWriteIoThreads, 1,
+                          64, 8, false, false, "workers",
+                          "background worker process cap"));
+  knobs.push_back(IntKnob("superuser_reserved_connections",
+                          KnobRole::kThreadCache, 0, 100, 3, false, false,
+                          "conns", "reserved backend slots"));
+  knobs.push_back(EnumKnob("wal_sync_method", KnobRole::kFlushMethod,
+                           {"fsync", "fdatasync", "open_datasync"}, 1, false,
+                           "how WAL is forced to disk"));
+  knobs.push_back(BoolKnob("enable_indexonlyscan", KnobRole::kAdaptiveHash,
+                           true, true, "index-only scan plans (read boost)"));
+  knobs.push_back(BoolKnob("wal_compression", KnobRole::kChangeBuffering,
+                           false, true, "compress WAL full-page images"));
+  knobs.push_back(IntKnob("checkpoint_completion_target_pct",
+                          KnobRole::kMaxDirtyPct, 10, 95, 50, true, false, "%",
+                          "spread checkpoint writes over this fraction"));
+  knobs.push_back(IntKnob("bgwriter_delay", KnobRole::kLruScanDepth, 10, 10000,
+                          200, true, true, "ms",
+                          "sleep between background writer rounds"));
+  knobs.push_back(IntKnob("deadlock_timeout", KnobRole::kLockWaitTimeout, 1,
+                          300, 1, true, false, "s",
+                          "wait before running deadlock detection"));
+  knobs.push_back(BoolKnob("log_lock_waits", KnobRole::kDeadlockDetect, false,
+                           true, "instrument lock waits (CPU cost)"));
+  knobs.push_back(IntKnob("max_files_per_process", KnobRole::kTableCache, 25,
+                          10000, 1000, false, true, "files",
+                          "kernel file descriptors per backend"));
+  knobs.push_back(BoolKnob("full_page_writes", KnobRole::kDoubleWrite, true,
+                           false, "write full pages after checkpoint"));
+
+  // ---- Minor knobs (43). ----
+  knobs.push_back(Minor("work_mem", 64, 2097152, 4096, true, true, "KB"));
+  knobs.push_back(Minor("maintenance_work_mem", 1024, 2097152, 65536, true, true, "KB"));
+  knobs.push_back(Minor("temp_buffers", 100, 65536, 1024, true, true, "8KB"));
+  knobs.push_back(Minor("effective_cache_size", 128, 65536, 4096, true, true, "MB"));
+  knobs.push_back(Minor("random_page_cost_x10", 10, 100, 40, true, false, "x0.1"));
+  knobs.push_back(Minor("seq_page_cost_x10", 1, 100, 10, true, false, "x0.1"));
+  knobs.push_back(Minor("cpu_tuple_cost_x1000", 1, 1000, 10, true, true, "x0.001"));
+  knobs.push_back(Minor("cpu_index_tuple_cost_x1000", 1, 1000, 5, true, true, "x0.001"));
+  knobs.push_back(Minor("cpu_operator_cost_x1000", 1, 1000, 2, true, true, "x0.001"));
+  knobs.push_back(Minor("wal_writer_delay", 1, 10000, 200, true, true, "ms"));
+  knobs.push_back(Minor("wal_writer_flush_after", 0, 65536, 1024, true, true, "8KB"));
+  knobs.push_back(Minor("commit_siblings", 0, 100, 5, true, false, "txns"));
+  knobs.push_back(Minor("checkpoint_timeout", 30, 86400, 300, true, true, "s"));
+  knobs.push_back(Minor("checkpoint_flush_after", 0, 256, 32, true, false, "8KB"));
+  knobs.push_back(Minor("autovacuum_naptime", 1, 2147483, 60, true, true, "s"));
+  knobs.push_back(Minor("autovacuum_vacuum_threshold", 0, 2147483647, 50, true, true, "rows"));
+  knobs.push_back(Minor("autovacuum_analyze_threshold", 0, 2147483647, 50, true, true, "rows"));
+  knobs.push_back(Minor("autovacuum_vacuum_cost_delay", 0, 100, 2, true, false, "ms"));
+  knobs.push_back(Minor("autovacuum_vacuum_cost_limit", 1, 10000, 200, true, true, ""));
+  knobs.push_back(Minor("autovacuum_max_workers", 1, 64, 3, false, false, "workers"));
+  knobs.push_back(Minor("vacuum_cost_page_hit", 0, 10000, 1, true, true, ""));
+  knobs.push_back(Minor("vacuum_cost_page_miss", 0, 10000, 10, true, true, ""));
+  knobs.push_back(Minor("vacuum_cost_page_dirty", 0, 10000, 20, true, true, ""));
+  knobs.push_back(Minor("vacuum_cost_limit", 1, 10000, 200, true, true, ""));
+  knobs.push_back(Minor("default_statistics_target", 1, 10000, 100, true, true, ""));
+  knobs.push_back(Minor("from_collapse_limit", 1, 64, 8, true, false, ""));
+  knobs.push_back(Minor("join_collapse_limit", 1, 64, 8, true, false, ""));
+  knobs.push_back(Minor("geqo_threshold", 2, 64, 12, true, false, ""));
+  knobs.push_back(Minor("geqo_effort", 1, 10, 5, true, false, ""));
+  knobs.push_back(Minor("max_stack_depth", 100, 7680, 2048, true, true, "KB"));
+  knobs.push_back(Minor("max_locks_per_transaction", 10, 4096, 64, false, true, "locks"));
+  knobs.push_back(Minor("max_pred_locks_per_transaction", 10, 4096, 64, false, true, "locks"));
+  knobs.push_back(Minor("wal_keep_segments", 0, 1000, 0, true, true, "segments"));
+  knobs.push_back(Minor("max_standby_streaming_delay", -1, 600, 30, true, false, "s"));
+  knobs.push_back(Minor("hot_standby_feedback", 0, 1, 0, true, false, ""));
+  knobs.push_back(Minor("track_activity_query_size", 100, 102400, 1024, false, true, "B"));
+  knobs.push_back(Minor("backend_flush_after", 0, 256, 0, true, false, "8KB"));
+  knobs.push_back(Minor("old_snapshot_threshold", -1, 86400, -1, false, false, "s"));
+  knobs.push_back(Minor("parallel_setup_cost", 0, 100000, 1000, true, true, ""));
+  knobs.push_back(Minor("parallel_tuple_cost_x1000", 1, 10000, 100, true, true, "x0.001"));
+  knobs.push_back(Minor("min_parallel_table_scan_size", 0, 65536, 1024, true, true, "8KB"));
+  knobs.push_back(Minor("min_parallel_index_scan_size", 0, 65536, 64, true, true, "8KB"));
+  knobs.push_back(Minor("tcp_keepalives_idle", 0, 7200, 0, true, true, "s"));
+
+  return KnobCatalog("postgresql", std::move(knobs));
+}
+
+}  // namespace hunter::cdb

@@ -1,0 +1,22 @@
+// Factory functions for the two knob catalogs used in the paper's
+// evaluation: 65 MySQL 5.7-style knobs and 65 PostgreSQL 12-style knobs
+// (the paper initializes 65 knobs "according to the settings of CDBTune").
+// Ranges and defaults follow the real systems where the simulation models
+// the mechanism, and sensible synthetic ranges for the generic minor knobs.
+
+#ifndef HUNTER_CDB_KNOB_CATALOG_H_
+#define HUNTER_CDB_KNOB_CATALOG_H_
+
+#include "cdb/knob.h"
+
+namespace hunter::cdb {
+
+// 65-knob MySQL/InnoDB-style catalog.
+KnobCatalog MySqlCatalog();
+
+// 65-knob PostgreSQL-style catalog.
+KnobCatalog PostgresCatalog();
+
+}  // namespace hunter::cdb
+
+#endif  // HUNTER_CDB_KNOB_CATALOG_H_

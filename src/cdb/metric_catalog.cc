@@ -1,0 +1,127 @@
+#include "cdb/metric_catalog.h"
+
+#include <cmath>
+
+namespace hunter::cdb {
+
+namespace {
+
+// One observed metric: an affine mixture of up to two latents. Weights are
+// chosen so related counters co-vary (e.g., all flush counters track
+// kLatFlushRate), which is exactly the redundancy PCA exploits.
+struct MetricSpec {
+  const char* name;
+  LatentIndex primary;
+  double primary_weight;
+  LatentIndex secondary;
+  double secondary_weight;
+  double base;
+};
+
+constexpr MetricSpec kMetricSpecs[kNumMetrics] = {
+    // Buffer pool family.
+    {"buffer_pool_read_requests", kLatReadRowRate, 3.2, kLatHitRatio, 10.0, 50.0},
+    {"buffer_pool_reads", kLatMissRate, 1.0, kLatReadRowRate, 0.002, 1.0},
+    {"buffer_pool_hit_ratio", kLatHitRatio, 100.0, kLatMissRate, -0.0001, 0.0},
+    {"buffer_pool_pages_total", kLatHitRatio, 5.0, kLatDirtyFraction, 0.2, 1000.0},
+    {"buffer_pool_pages_free", kLatHitRatio, -4.0, kLatMissRate, -0.001, 900.0},
+    {"buffer_pool_pages_dirty", kLatDirtyFraction, 800.0, kLatWriteRowRate, 0.01, 5.0},
+    {"buffer_pool_bytes_dirty", kLatDirtyFraction, 13000.0, kLatWriteRowRate, 0.16, 80.0},
+    {"buffer_pool_pages_data", kLatHitRatio, 900.0, kLatMissRate, 0.0005, 100.0},
+    {"buffer_pool_wait_free", kLatDirtyFraction, 12.0, kLatIoUtil, 4.0, 0.0},
+    {"buffer_pool_read_ahead", kLatMissRate, 0.12, kLatReadRowRate, 0.0005, 0.5},
+    {"buffer_pool_read_ahead_evicted", kLatMissRate, 0.05, kLatDirtyFraction, 0.8, 0.1},
+    {"buffer_pool_write_requests", kLatWriteRowRate, 2.4, kLatDirtyFraction, 3.0, 10.0},
+    // Flushing / IO family.
+    {"buffer_flush_batches", kLatFlushRate, 0.08, kLatIoUtil, 2.0, 0.2},
+    {"buffer_flush_pages", kLatFlushRate, 1.0, kLatDirtyFraction, 10.0, 1.0},
+    {"buffer_flush_neighbor_pages", kLatFlushRate, 0.3, kLatDirtyFraction, 4.0, 0.2},
+    {"buffer_flush_adaptive_pages", kLatFlushRate, 0.55, kLatCheckpointRate, 30.0, 0.3},
+    {"os_data_reads", kLatMissRate, 1.05, kLatIoUtil, 5.0, 2.0},
+    {"os_data_writes", kLatFlushRate, 1.1, kLatWriteRowRate, 0.02, 3.0},
+    {"os_data_fsyncs", kLatCommitRate, 0.4, kLatFlushRate, 0.05, 1.0},
+    {"os_log_bytes_written", kLatWriteRowRate, 4.1, kLatCommitRate, 0.5, 8.0},
+    {"os_log_fsyncs", kLatCommitRate, 0.9, kLatLogWait, 3.0, 0.5},
+    {"os_log_pending_writes", kLatLogWait, 6.0, kLatCommitRate, 0.0002, 0.05},
+    {"data_pending_reads", kLatMissRate, 0.004, kLatIoUtil, 3.0, 0.02},
+    {"data_pending_writes", kLatFlushRate, 0.003, kLatIoUtil, 2.5, 0.02},
+    // Log family.
+    {"log_waits", kLatLogWait, 20.0, kLatCommitRate, 0.0001, 0.0},
+    {"log_write_requests", kLatCommitRate, 1.6, kLatWriteRowRate, 0.4, 4.0},
+    {"log_writes", kLatCommitRate, 1.1, kLatLogWait, 0.5, 2.0},
+    {"log_padded", kLatCommitRate, 0.2, kLatLogWait, 1.5, 0.4},
+    {"log_checkpoints", kLatCheckpointRate, 100.0, kLatFlushRate, 0.001, 0.01},
+    {"log_lsn_checkpoint_age", kLatCheckpointRate, -500.0, kLatWriteRowRate, 0.9, 600.0},
+    // Locking family.
+    {"lock_deadlocks", kLatDeadlockRate, 10.0, kLatLockWait, 0.02, 0.0},
+    {"lock_timeouts", kLatDeadlockRate, 4.0, kLatLockWait, 0.08, 0.0},
+    {"lock_row_lock_waits", kLatLockWait, 6.0, kLatThreadsRunning, 0.2, 0.1},
+    {"lock_row_lock_time_avg", kLatLockWait, 1.0, kLatDeadlockRate, 0.3, 0.05},
+    {"lock_row_lock_time_max", kLatLockWait, 9.0, kLatDeadlockRate, 5.0, 0.5},
+    {"lock_row_lock_current_waits", kLatLockWait, 0.9, kLatThreadsRunning, 0.12, 0.02},
+    {"lock_rec_lock_requests", kLatWriteRowRate, 1.3, kLatLockWait, 0.4, 6.0},
+    {"lock_table_lock_waits", kLatLockWait, 0.25, kLatConnChurn, 0.05, 0.01},
+    // Throughput / row operation family.
+    {"trx_commits", kLatCommitRate, 1.0, kLatThreadsRunning, 0.0, 0.0},
+    {"trx_rollbacks", kLatDeadlockRate, 2.5, kLatCommitRate, 0.002, 0.05},
+    {"trx_active", kLatThreadsRunning, 1.0, kLatLockWait, 0.2, 0.5},
+    {"rows_read", kLatReadRowRate, 1.0, kLatHitRatio, 0.0, 5.0},
+    {"rows_inserted", kLatWriteRowRate, 0.45, kLatCommitRate, 0.1, 1.0},
+    {"rows_updated", kLatWriteRowRate, 0.4, kLatCommitRate, 0.15, 1.0},
+    {"rows_deleted", kLatWriteRowRate, 0.12, kLatCommitRate, 0.02, 0.2},
+    {"dml_reads_per_commit", kLatReadRowRate, 0.002, kLatCommitRate, -0.0004, 6.0},
+    {"select_scans", kLatReadRowRate, 0.06, kLatTmpUsage, 0.8, 0.5},
+    {"index_range_scans", kLatReadRowRate, 0.22, kLatHitRatio, 1.5, 1.0},
+    // Threads / connections family.
+    {"threads_running", kLatThreadsRunning, 1.0, kLatCpuUtil, 2.0, 1.0},
+    {"threads_connected", kLatThreadsRunning, 1.8, kLatConnChurn, 0.4, 4.0},
+    {"threads_created", kLatConnChurn, 1.0, kLatThreadsRunning, 0.02, 0.1},
+    {"threads_cached", kLatConnChurn, -0.6, kLatThreadsRunning, 0.1, 8.0},
+    {"connection_errors_max_conn", kLatConnChurn, 0.08, kLatThreadsRunning, 0.01, 0.0},
+    {"aborted_clients", kLatConnChurn, 0.05, kLatDeadlockRate, 0.4, 0.01},
+    // Resource utilization family.
+    {"cpu_utilization_pct", kLatCpuUtil, 100.0, kLatThreadsRunning, 0.01, 0.0},
+    {"io_utilization_pct", kLatIoUtil, 100.0, kLatMissRate, 0.0001, 0.0},
+    {"cpu_system_pct", kLatCpuUtil, 22.0, kLatIoUtil, 8.0, 1.0},
+    {"disk_queue_depth", kLatIoUtil, 14.0, kLatMissRate, 0.0008, 0.2},
+    // Temp / sort / misc family.
+    {"created_tmp_tables", kLatTmpUsage, 1.0, kLatReadRowRate, 0.001, 0.3},
+    {"created_tmp_disk_tables", kLatTmpUsage, 0.25, kLatIoUtil, 0.5, 0.02},
+    {"sort_merge_passes", kLatTmpUsage, 0.4, kLatIoUtil, 0.3, 0.05},
+    {"table_open_cache_misses", kLatConnChurn, 0.3, kLatTmpUsage, 0.1, 0.1},
+    {"adaptive_hash_searches", kLatReadRowRate, 0.8, kLatHitRatio, 6.0, 2.0},
+};
+
+static_assert(sizeof(kMetricSpecs) / sizeof(kMetricSpecs[0]) == kNumMetrics,
+              "metric table must define exactly kNumMetrics entries");
+
+}  // namespace
+
+const std::vector<std::string>& MetricNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* list = new std::vector<std::string>();
+    list->reserve(kNumMetrics);
+    for (const MetricSpec& spec : kMetricSpecs) list->emplace_back(spec.name);
+    return list;
+  }();
+  return *names;
+}
+
+std::vector<double> LatentsToMetrics(
+    const std::array<double, kNumLatents>& latents, common::Rng* rng) {
+  std::vector<double> metrics(kNumMetrics);
+  for (size_t i = 0; i < kNumMetrics; ++i) {
+    const MetricSpec& spec = kMetricSpecs[i];
+    double value = spec.base + spec.primary_weight * latents[spec.primary] +
+                   spec.secondary_weight * latents[spec.secondary];
+    if (rng != nullptr) {
+      // ~4.5% relative observation noise plus a small absolute floor
+      // (calibrated so PCA needs ~13 components for 90% variance, Fig. 7).
+      value += rng->Gaussian(0.0, 0.045 * std::abs(value) + 0.02);
+    }
+    metrics[i] = value;
+  }
+  return metrics;
+}
+
+}  // namespace hunter::cdb

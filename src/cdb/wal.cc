@@ -1,0 +1,75 @@
+#include "cdb/wal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hunter::cdb {
+
+WalCost WalModel::Estimate(const WalConfig& config,
+                           const WalWorkload& workload) {
+  WalCost cost;
+
+  // ---- Redo sync cost with group commit.
+  // Commits arriving while one fsync is in flight join its group, so the
+  // effective group size grows with the commit arrival rate.
+  const double arrivals_per_fsync =
+      workload.commit_rate_tps * config.fsync_ms / 1000.0;
+  const double group = std::clamp(arrivals_per_fsync, 1.0,
+                                  std::max(1.0, workload.concurrent_committers));
+  switch (config.flush_policy) {
+    case 0:  // write to log buffer only
+      cost.commit_cost_ms += 0.005;
+      break;
+    case 1:  // fsync every commit (amortized across the commit group)
+      cost.commit_cost_ms += config.fsync_ms / group + 0.01;
+      break;
+    default:  // write to OS cache per commit, background sync ~1/s
+      cost.commit_cost_ms += 0.02;
+      break;
+  }
+
+  // ---- Binlog / secondary log sync.
+  if (config.binlog_sync_every > 0) {
+    cost.commit_cost_ms += config.fsync_ms /
+                           (static_cast<double>(config.binlog_sync_every) * group);
+  }
+
+  // ---- Log-buffer waits: if a second's worth of redo exceeds the buffer,
+  // committers stall on synchronous buffer flushes.
+  const double redo_mb_per_sec =
+      workload.commit_rate_tps * workload.redo_kb_per_txn / 1024.0;
+  const double buffer_turnovers_per_sec =
+      redo_mb_per_sec / std::max(0.25, config.log_buffer_mb);
+  if (buffer_turnovers_per_sec > 2.0) {
+    // Each turnover beyond ~2/s adds a synchronous write the committers
+    // share; cost grows smoothly with pressure.
+    cost.log_wait_ms = 0.05 * (buffer_turnovers_per_sec - 2.0);
+  }
+
+  // ---- Checkpoint pressure: filling the redo log forces a sharp
+  // checkpoint whose stall is amortized over the commits in between.
+  if (redo_mb_per_sec > 0.0) {
+    const double seconds_to_fill =
+        std::max(1.0, config.log_file_mb / redo_mb_per_sec);
+    cost.checkpoints_per_sec = 1.0 / seconds_to_fill;
+    // A sharp checkpoint writes out the dirty tail; better io_capacity
+    // absorbs it faster. Penalty spread over the interval's commits.
+    const double checkpoint_pause_ms =
+        250000.0 / std::max(100.0, config.io_capacity);
+    cost.checkpoint_stall_ms =
+        checkpoint_pause_ms /
+        std::max(1.0, seconds_to_fill * workload.commit_rate_tps);
+  }
+
+  // ---- Write amplification from durability features.
+  if (config.doublewrite) cost.write_amplification += 0.8;
+  if (config.flush_method != 2) {
+    // Buffered IO double-copies through the OS page cache.
+    cost.write_amplification += 0.25;
+    cost.commit_cost_ms *= 1.05;
+  }
+
+  return cost;
+}
+
+}  // namespace hunter::cdb

@@ -1,0 +1,43 @@
+// Write-ahead-log cost model: group commit, log-buffer waits, and
+// checkpoint pressure. These are the mechanisms behind the paper's most
+// impactful write-side knobs (innodb_flush_log_at_trx_commit, sync_binlog,
+// innodb_log_file_size, innodb_log_buffer_size).
+
+#ifndef HUNTER_CDB_WAL_H_
+#define HUNTER_CDB_WAL_H_
+
+namespace hunter::cdb {
+
+struct WalConfig {
+  int flush_policy = 1;          // 0 = no sync, 1 = fsync per commit, 2 = per second
+  int binlog_sync_every = 1;     // fsync binlog every N commits (0 = never)
+  double log_file_mb = 48;       // redo capacity before checkpoint
+  double log_buffer_mb = 16;     // in-memory redo buffer
+  double fsync_ms = 0.4;         // device sync latency
+  int flush_method = 0;          // 0 buffered, 1 dsync, 2 O_DIRECT
+  bool doublewrite = true;
+  double io_capacity = 200;      // background flush IOPS budget
+};
+
+struct WalWorkload {
+  double commit_rate_tps = 1000;     // estimated commit throughput
+  double redo_kb_per_txn = 4.0;      // redo bytes generated per transaction
+  double concurrent_committers = 32; // txns overlapping in the commit path
+};
+
+struct WalCost {
+  double commit_cost_ms = 0.0;      // per-commit log cost after group commit
+  double log_wait_ms = 0.0;         // per-commit wait on a full log buffer
+  double checkpoint_stall_ms = 0.0; // per-commit amortized checkpoint stall
+  double write_amplification = 1.0; // extra data written per logical write
+  double checkpoints_per_sec = 0.0;
+};
+
+class WalModel {
+ public:
+  static WalCost Estimate(const WalConfig& config, const WalWorkload& workload);
+};
+
+}  // namespace hunter::cdb
+
+#endif  // HUNTER_CDB_WAL_H_

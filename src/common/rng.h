@@ -1,0 +1,85 @@
+// Seeded pseudo-random number generation utilities.
+//
+// All stochastic components in this repository (the simulated engine's noise,
+// GA mutation, DDPG exploration, forest bootstrapping, ...) draw from an
+// explicitly seeded Rng so that unit tests and experiment harnesses are
+// reproducible. The generator is xoshiro256**, seeded through SplitMix64.
+
+#ifndef HUNTER_COMMON_RNG_H_
+#define HUNTER_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hunter::common {
+
+// A small, fast, seedable PRNG (xoshiro256**) with the distribution helpers
+// this project needs. Copyable so components can fork deterministic
+// sub-streams via `Fork()`.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Advances the generator and returns 64 uniformly distributed bits.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p);
+
+  // Zipfian-distributed integer in [0, n) with skew `theta` in [0, 1).
+  // theta = 0 degenerates to uniform. Uses the Gray/Jim-Gray style
+  // approximation used by YCSB-like workload generators.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  // Samples an index from an (unnormalized, non-negative) weight vector.
+  // If all weights are zero, samples uniformly.
+  size_t Categorical(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  // Returns an independent generator deterministically derived from this
+  // one's stream (useful for giving each clone / tree / thread its own RNG).
+  Rng Fork();
+
+ private:
+  void SeedState(uint64_t seed);
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+
+  // Cached Zipf constants (recomputed when (n, theta) changes).
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace hunter::common
+
+#endif  // HUNTER_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+// Simulated wall-clock used to account tuning time.
+//
+// The paper reports results as "performance achieved after H hours of
+// tuning". In this reproduction the DBMS is simulated, so a real wall-clock
+// is meaningless; instead every tuning step charges the per-step costs from
+// the paper's Table 1 (workload execution, metric collection, model update,
+// knob deployment, recommendation) to a SimClock. Parallel stress-testing on
+// k cloned instances charges the *maximum* of the k per-clone costs, which is
+// what produces the paper's near-linear recommendation-time reductions.
+
+#ifndef HUNTER_COMMON_SIM_CLOCK_H_
+#define HUNTER_COMMON_SIM_CLOCK_H_
+
+namespace hunter::common {
+
+class SimClock {
+ public:
+  // Current simulated time in seconds since the start of the tuning session.
+  double seconds() const { return seconds_; }
+  double hours() const { return seconds_ / 3600.0; }
+
+  // Advances the clock. Negative durations are ignored.
+  void Advance(double seconds) {
+    if (seconds > 0.0) seconds_ += seconds;
+  }
+
+  void Reset() { seconds_ = 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace hunter::common
+
+#endif  // HUNTER_COMMON_SIM_CLOCK_H_

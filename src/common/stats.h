@@ -1,0 +1,51 @@
+// Small statistics helpers shared by the simulated engine, the search-space
+// optimizer and the benchmark harnesses.
+
+#ifndef HUNTER_COMMON_STATS_H_
+#define HUNTER_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hunter::common {
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+// Population variance; 0 for fewer than two values.
+double Variance(const std::vector<double>& values);
+
+// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+// The q-th percentile (q in [0, 100]) using linear interpolation between
+// order statistics. Copies and sorts internally; 0 for empty input.
+double Percentile(std::vector<double> values, double q);
+
+// Pearson correlation of two equally sized vectors; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hunter::common
+
+#endif  // HUNTER_COMMON_STATS_H_

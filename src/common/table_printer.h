@@ -1,0 +1,35 @@
+// Markdown-style table printing used by the benchmark harnesses so that each
+// bench binary emits rows directly comparable to the paper's tables/figures.
+
+#ifndef HUNTER_COMMON_TABLE_PRINTER_H_
+#define HUNTER_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hunter::common {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders a GitHub-flavored markdown table with aligned columns.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits = 2);
+
+}  // namespace hunter::common
+
+#endif  // HUNTER_COMMON_TABLE_PRINTER_H_

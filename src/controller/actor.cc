@@ -1,0 +1,63 @@
+#include "controller/actor.h"
+
+namespace hunter::controller {
+
+Actor::Actor(std::unique_ptr<cdb::CdbInstance> clone, double alpha)
+    : clone_(std::move(clone)), alpha_(alpha) {}
+
+Sample Actor::StressTest(const std::vector<double>& normalized,
+                         const cdb::WorkloadProfile& workload,
+                         const cdb::PerformanceSummary& defaults,
+                         StressTestTiming* timing) {
+  const cdb::Configuration config =
+      clone_->catalog().DenormalizeConfiguration(normalized);
+  const cdb::DeployOutcome deploy = clone_->DeployConfiguration(config);
+
+  Sample sample;
+  sample.knobs = normalized;
+  StressTestTiming local;
+  local.deploy_seconds = deploy.deploy_seconds;
+
+  if (!deploy.booted) {
+    // §2.1: a configuration that cannot boot is skipped and recorded with
+    // throughput -1000 and "infinite" latency.
+    const cdb::PerfResult failure = cdb::BootFailureResult();
+    sample.metrics = failure.metrics;
+    sample.throughput_tps = failure.throughput_tps;
+    sample.latency_p95_ms = failure.latency_p95_ms;
+    sample.boot_failed = true;
+    sample.fitness = cdb::kBootFailureFitness;
+  } else {
+    const cdb::PerfResult result = clone_->StressTest(workload);
+    local.execution_seconds = kExecutionSeconds;
+    local.collection_seconds = kCollectionSeconds;
+    sample.metrics = result.metrics;
+    sample.throughput_tps = result.throughput_tps;
+    sample.latency_p95_ms = result.latency_p95_ms;
+    sample.boot_failed = result.boot_failed;
+    sample.fitness = cdb::Fitness(
+        alpha_, {result.throughput_tps, result.latency_p95_ms}, defaults);
+  }
+  if (timing != nullptr) *timing = local;
+  return sample;
+}
+
+cdb::PerformanceSummary Actor::MeasureDefaults(
+    const cdb::WorkloadProfile& workload, int repeats) {
+  const cdb::Configuration defaults =
+      clone_->catalog().DefaultConfiguration();
+  clone_->DeployConfiguration(defaults);
+  cdb::PerformanceSummary summary;
+  for (int i = 0; i < repeats; ++i) {
+    const cdb::PerfResult result = clone_->StressTest(workload);
+    summary.throughput_tps += result.throughput_tps;
+    summary.latency_p95_ms += result.latency_p95_ms;
+  }
+  if (repeats > 0) {
+    summary.throughput_tps /= repeats;
+    summary.latency_p95_ms /= repeats;
+  }
+  return summary;
+}
+
+}  // namespace hunter::controller

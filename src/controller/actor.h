@@ -1,0 +1,60 @@
+// An Actor (§2.1/§2.2): manages a set of CDB instances cloned from the
+// user's instance, deploys configurations on them, stress-tests the target
+// workload, and collects metrics and performance. One Actor per clone in
+// this implementation; the Controller fans work out across Actors.
+
+#ifndef HUNTER_CONTROLLER_ACTOR_H_
+#define HUNTER_CONTROLLER_ACTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "cdb/cdb_instance.h"
+#include "cdb/fitness.h"
+#include "cdb/workload_profile.h"
+#include "controller/sample.h"
+
+namespace hunter::controller {
+
+struct StressTestTiming {
+  double deploy_seconds = 0.0;
+  double execution_seconds = 0.0;
+  double collection_seconds = 0.0;
+  double total() const {
+    return deploy_seconds + execution_seconds + collection_seconds;
+  }
+};
+
+class Actor {
+ public:
+  // Takes ownership of a cloned CDB instance.
+  Actor(std::unique_ptr<cdb::CdbInstance> clone, double alpha);
+
+  // Deploys `normalized` knobs, replays the workload, and collects a Shared
+  // Pool sample. `defaults` supplies T_def / L_def for Equation 1. `timing`
+  // (optional) receives the simulated cost of each step (the paper's
+  // Table 1 breakdown: execution dominates at ~142.7 s).
+  Sample StressTest(const std::vector<double>& normalized,
+                    const cdb::WorkloadProfile& workload,
+                    const cdb::PerformanceSummary& defaults,
+                    StressTestTiming* timing);
+
+  // Measures the default configuration's performance (averaged over
+  // `repeats` runs) to establish the Equation-1 baseline.
+  cdb::PerformanceSummary MeasureDefaults(const cdb::WorkloadProfile& workload,
+                                          int repeats);
+
+  cdb::CdbInstance& instance() { return *clone_; }
+
+  // Simulated workload-execution time per stress test (Table 1).
+  static constexpr double kExecutionSeconds = 142.7;
+  static constexpr double kCollectionSeconds = 0.0002;
+
+ private:
+  std::unique_ptr<cdb::CdbInstance> clone_;
+  double alpha_;
+};
+
+}  // namespace hunter::controller
+
+#endif  // HUNTER_CONTROLLER_ACTOR_H_

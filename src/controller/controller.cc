@@ -1,0 +1,94 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+#include <future>
+
+namespace hunter::controller {
+
+Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
+                       cdb::WorkloadProfile workload,
+                       const ControllerOptions& options)
+    : user_instance_(std::move(user_instance)),
+      workload_(std::move(workload)),
+      options_(options) {
+  const int clones = std::max(1, options.num_clones);
+  actors_.reserve(static_cast<size_t>(clones));
+  for (int i = 0; i < clones; ++i) {
+    actors_.push_back(
+        std::make_unique<Actor>(user_instance_->Clone(), options.alpha));
+  }
+  if (options_.concurrent_actors && clones > 1) {
+    pool_ = std::make_unique<common::ThreadPool>(
+        std::min<size_t>(static_cast<size_t>(clones), 8));
+  }
+}
+
+const cdb::PerformanceSummary& Controller::DefaultPerformance() {
+  if (!defaults_measured_) {
+    default_performance_ =
+        actors_[0]->MeasureDefaults(workload_, options_.default_repeats);
+    clock_.Advance(options_.default_repeats * Actor::kExecutionSeconds);
+    defaults_measured_ = true;
+  }
+  return default_performance_;
+}
+
+std::vector<Sample> Controller::EvaluateBatch(
+    const std::vector<std::vector<double>>& normalized_configs) {
+  const cdb::PerformanceSummary& defaults = DefaultPerformance();
+  std::vector<Sample> samples(normalized_configs.size());
+
+  const size_t k = actors_.size();
+  for (size_t round_start = 0; round_start < normalized_configs.size();
+       round_start += k) {
+    const size_t round_end =
+        std::min(normalized_configs.size(), round_start + k);
+    std::vector<StressTestTiming> timings(round_end - round_start);
+
+    if (pool_ != nullptr) {
+      std::vector<std::future<Sample>> futures;
+      futures.reserve(round_end - round_start);
+      for (size_t i = round_start; i < round_end; ++i) {
+        Actor* actor = actors_[i - round_start].get();
+        const std::vector<double>* config = &normalized_configs[i];
+        StressTestTiming* timing = &timings[i - round_start];
+        futures.push_back(pool_->Submit([this, actor, config, timing, &defaults] {
+          return actor->StressTest(*config, workload_, defaults, timing);
+        }));
+      }
+      for (size_t i = round_start; i < round_end; ++i) {
+        samples[i] = futures[i - round_start].get();
+      }
+    } else {
+      for (size_t i = round_start; i < round_end; ++i) {
+        samples[i] = actors_[i - round_start]->StressTest(
+            normalized_configs[i], workload_, defaults,
+            &timings[i - round_start]);
+      }
+    }
+
+    // The round costs as much as its slowest clone (all run in parallel).
+    double round_seconds = 0.0;
+    for (const StressTestTiming& timing : timings) {
+      round_seconds = std::max(round_seconds, timing.total());
+    }
+    clock_.Advance(round_seconds);
+    total_stress_tests_ += round_end - round_start;
+  }
+  return samples;
+}
+
+void Controller::DeployToUser(const std::vector<double>& normalized) {
+  const cdb::Configuration config =
+      catalog().DenormalizeConfiguration(normalized);
+  const cdb::DeployOutcome outcome =
+      user_instance_->DeployConfiguration(config);
+  clock_.Advance(outcome.deploy_seconds);
+}
+
+void Controller::SetWorkload(cdb::WorkloadProfile workload) {
+  workload_ = std::move(workload);
+  defaults_measured_ = false;  // Eq-1 baseline is workload-specific
+}
+
+}  // namespace hunter::controller

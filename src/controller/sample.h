@@ -1,0 +1,23 @@
+// A Shared Pool sample {S_i, A_i, P_i} (§2.1): the metric vector S, the
+// (normalized) configuration A, and the measured performance P with its
+// Equation-1 fitness.
+
+#ifndef HUNTER_CONTROLLER_SAMPLE_H_
+#define HUNTER_CONTROLLER_SAMPLE_H_
+
+#include <vector>
+
+namespace hunter::controller {
+
+struct Sample {
+  std::vector<double> metrics;   // S: the 63-metric state vector
+  std::vector<double> knobs;     // A: normalized configuration in [0,1]^m
+  double throughput_tps = 0.0;   // P: throughput
+  double latency_p95_ms = 0.0;   // P: 95%-tail latency
+  double fitness = 0.0;          // Equation-1 score vs the default config
+  bool boot_failed = false;
+};
+
+}  // namespace hunter::controller
+
+#endif  // HUNTER_CONTROLLER_SAMPLE_H_

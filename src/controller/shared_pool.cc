@@ -1,0 +1,43 @@
+#include "controller/shared_pool.h"
+
+namespace hunter::controller {
+
+void SharedPool::Add(Sample sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(std::move(sample));
+}
+
+void SharedPool::AddBatch(const std::vector<Sample>& samples) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
+std::vector<Sample> SharedPool::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+size_t SharedPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+void SharedPool::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+bool SharedPool::Best(Sample* best) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool found = false;
+  for (const Sample& sample : samples_) {
+    if (sample.boot_failed) continue;
+    if (!found || sample.fitness > best->fitness) {
+      *best = sample;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace hunter::controller

@@ -1,0 +1,114 @@
+#include "hunter/hunter.h"
+
+namespace hunter::core {
+
+HunterTuner::HunterTuner(const cdb::KnobCatalog* catalog, Rules rules,
+                         const HunterOptions& options, uint64_t seed)
+    : catalog_(catalog),
+      rules_(std::move(rules)),
+      options_(options),
+      rng_(seed) {
+  if (options_.use_ga) {
+    factory_ = std::make_unique<GeneticSampleFactory>(
+        catalog_, &rules_, options_.ga, rng_.NextU64());
+  }
+  options_.optimizer.use_pca = options_.use_pca;
+  options_.optimizer.use_rf = options_.use_rf;
+  options_.recommender.use_fes = options_.use_fes;
+}
+
+std::vector<std::vector<double>> HunterTuner::Propose(size_t count) {
+  if (phase_ == Phase::kSampleFactory) {
+    if (options_.use_ga) {
+      std::vector<std::vector<double>> proposals = factory_->Propose(count);
+      if (!proposals.empty()) return proposals;
+      // Factory exhausted its budget but the transition happens on Observe;
+      // fall through to the recommender after transitioning now.
+      MaybeTransitionToRecommend();
+    } else {
+      // Cold start without GA: a short random warm-up (CDBTune-style).
+      if (warmup_proposed_ < options_.random_warmup_without_ga) {
+        std::vector<std::vector<double>> proposals;
+        for (size_t i = 0;
+             i < count && warmup_proposed_ < options_.random_warmup_without_ga;
+             ++i, ++warmup_proposed_) {
+          std::vector<double> random(catalog_->size());
+          for (double& v : random) v = rng_.Uniform();
+          proposals.push_back(rules_.Apply(*catalog_, std::move(random)));
+        }
+        return proposals;
+      }
+      MaybeTransitionToRecommend();
+    }
+  }
+  return recommender_->Propose(count);
+}
+
+void HunterTuner::Observe(const std::vector<controller::Sample>& samples) {
+  pool_.AddBatch(samples);
+  if (phase_ == Phase::kSampleFactory) {
+    if (options_.use_ga) {
+      factory_->Observe(samples);
+      if (factory_->Done()) MaybeTransitionToRecommend();
+    } else if (warmup_proposed_ >= options_.random_warmup_without_ga) {
+      MaybeTransitionToRecommend();
+    }
+    return;
+  }
+  recommender_->Observe(samples);
+  recommend_samples_ += samples.size();
+  if (options_.reoptimize_every > 0 &&
+      recommend_samples_ >= options_.reoptimize_every) {
+    recommend_samples_ = 0;
+    phase_ = Phase::kSampleFactory;  // force a rebuild
+    MaybeTransitionToRecommend();
+  }
+}
+
+void HunterTuner::MaybeTransitionToRecommend() {
+  if (phase_ == Phase::kRecommend) return;
+  // Phase 2: optimize the search space over the whole Shared Pool.
+  const std::vector<controller::Sample> snapshot = pool_.Snapshot();
+  const OptimizedSpace space = SearchSpaceOptimizer::Optimize(
+      snapshot, *catalog_, rules_, options_.optimizer, &rng_);
+  // Phase 3: build the Recommender and warm-start it from the pool.
+  recommender_ = std::make_unique<Recommender>(
+      catalog_, &rules_, space, options_.recommender, rng_.NextU64());
+  controller::Sample best;
+  std::vector<double> base;
+  if (pool_.Best(&best)) base = best.knobs;
+  recommender_->WarmStart(snapshot, base);
+  phase_ = Phase::kRecommend;
+}
+
+std::optional<HunterModel> HunterTuner::ExportModel() const {
+  if (recommender_ == nullptr) return std::nullopt;
+  HunterModel model;
+  model.space = recommender_->space();
+  model.ddpg_parameters = recommender_->SaveModel();
+  model.base_config = recommender_->best_full_config();
+  model.signature = model.space.Signature();
+  return model;
+}
+
+void HunterTuner::ImportModel(const HunterModel& model) {
+  recommender_ = std::make_unique<Recommender>(
+      catalog_, &rules_, model.space, options_.recommender, rng_.NextU64());
+  recommender_->LoadModel(model.ddpg_parameters);
+  // Fine-tuning starts from the imported incumbent; no Sample Factory run.
+  recommender_->WarmStart({}, model.base_config);
+  phase_ = Phase::kRecommend;
+}
+
+void ModelRegistry::Store(const HunterModel& model) {
+  models_[model.signature] = model;
+}
+
+std::optional<HunterModel> ModelRegistry::Match(
+    const std::string& signature) const {
+  const auto it = models_.find(signature);
+  if (it == models_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hunter::core

@@ -1,0 +1,68 @@
+#include "hunter/rules.h"
+
+#include <algorithm>
+
+namespace hunter::core {
+
+void Rules::FixKnob(const std::string& name, double raw_value) {
+  fixed_.push_back({name, raw_value});
+}
+
+void Rules::RestrictRange(const std::string& name, double raw_min,
+                          double raw_max) {
+  ranges_.push_back({name, raw_min, raw_max});
+}
+
+void Rules::AddConditional(const std::string& cond_knob, double threshold,
+                           const std::string& then_knob,
+                           double then_raw_value) {
+  conditionals_.push_back({cond_knob, threshold, then_knob, then_raw_value});
+}
+
+std::vector<double> Rules::Apply(const cdb::KnobCatalog& catalog,
+                                 std::vector<double> normalized) const {
+  for (const Range& range : ranges_) {
+    const int index = catalog.IndexOf(range.name);
+    if (index < 0) continue;
+    const size_t i = static_cast<size_t>(index);
+    const double lo = catalog.Normalize(i, range.raw_min);
+    const double hi = catalog.Normalize(i, range.raw_max);
+    normalized[i] = std::clamp(normalized[i], std::min(lo, hi),
+                               std::max(lo, hi));
+  }
+  for (const Fixed& fixed : fixed_) {
+    const int index = catalog.IndexOf(fixed.name);
+    if (index < 0) continue;
+    const size_t i = static_cast<size_t>(index);
+    normalized[i] = catalog.Normalize(i, fixed.raw_value);
+  }
+  for (const Conditional& conditional : conditionals_) {
+    const int cond = catalog.IndexOf(conditional.cond_knob);
+    const int then = catalog.IndexOf(conditional.then_knob);
+    if (cond < 0 || then < 0) continue;
+    const size_t ci = static_cast<size_t>(cond);
+    const double raw = catalog.Denormalize(ci, normalized[ci]);
+    if (raw >= conditional.threshold) {
+      const size_t ti = static_cast<size_t>(then);
+      normalized[ti] = catalog.Normalize(ti, conditional.then_raw_value);
+    }
+  }
+  return normalized;
+}
+
+bool Rules::IsTunable(const cdb::KnobCatalog& catalog,
+                      size_t knob_index) const {
+  const std::string& name = catalog.knob(knob_index).name;
+  return std::none_of(fixed_.begin(), fixed_.end(),
+                      [&](const Fixed& f) { return f.name == name; });
+}
+
+std::vector<size_t> Rules::TunableKnobs(const cdb::KnobCatalog& catalog) const {
+  std::vector<size_t> tunable;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (IsTunable(catalog, i)) tunable.push_back(i);
+  }
+  return tunable;
+}
+
+}  // namespace hunter::core

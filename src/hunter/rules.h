@@ -1,0 +1,77 @@
+// Rules: the user's personalized requirements (§2.1 / §3.1).
+//
+// Rules capture which knobs are fixed, the permitted range of the others,
+// conditional constraints (the paper's example: thread_handling =
+// pool-of-threads if connections > 100), and the Equation-1 preference
+// alpha. The Sample Factory, Search Space Optimizer and Recommender all
+// project their candidate configurations through the Rules, which is why a
+// pre-trained model cannot simply be reused: the feasible region differs
+// per user ("the path to the optimal value may be blocked").
+
+#ifndef HUNTER_HUNTER_RULES_H_
+#define HUNTER_HUNTER_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "cdb/knob.h"
+
+namespace hunter::core {
+
+class Rules {
+ public:
+  // Pins a knob to a raw value; it is excluded from tuning.
+  void FixKnob(const std::string& name, double raw_value);
+
+  // Restricts a knob's adjustable range to [raw_min, raw_max].
+  void RestrictRange(const std::string& name, double raw_min, double raw_max);
+
+  // If `cond_knob`'s raw value >= threshold, force `then_knob` to
+  // `then_raw_value`.
+  void AddConditional(const std::string& cond_knob, double threshold,
+                      const std::string& then_knob, double then_raw_value);
+
+  void set_alpha(double alpha) { alpha_ = alpha; }
+  double alpha() const { return alpha_; }
+
+  // Projects a normalized configuration into the feasible region: range
+  // clamps first, then fixed knobs, then conditionals (in insertion order).
+  std::vector<double> Apply(const cdb::KnobCatalog& catalog,
+                            std::vector<double> normalized) const;
+
+  // Whether a knob may be tuned (not pinned by FixKnob).
+  bool IsTunable(const cdb::KnobCatalog& catalog, size_t knob_index) const;
+
+  // Indices of tunable knobs under this rule set.
+  std::vector<size_t> TunableKnobs(const cdb::KnobCatalog& catalog) const;
+
+  size_t num_constraints() const {
+    return fixed_.size() + ranges_.size() + conditionals_.size();
+  }
+
+ private:
+  struct Fixed {
+    std::string name;
+    double raw_value;
+  };
+  struct Range {
+    std::string name;
+    double raw_min;
+    double raw_max;
+  };
+  struct Conditional {
+    std::string cond_knob;
+    double threshold;
+    std::string then_knob;
+    double then_raw_value;
+  };
+
+  std::vector<Fixed> fixed_;
+  std::vector<Range> ranges_;
+  std::vector<Conditional> conditionals_;
+  double alpha_ = 0.5;  // the paper's default: equal attention to T and L
+};
+
+}  // namespace hunter::core
+
+#endif  // HUNTER_HUNTER_RULES_H_

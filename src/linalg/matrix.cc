@@ -1,0 +1,270 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hunter::linalg {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(const std::vector<std::vector<double>>& rows) {
+  rows_ = rows.size();
+  cols_ = rows.empty() ? 0 : rows[0].size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  return std::vector<double>(data_.begin() + static_cast<long>(r * cols_),
+                             data_.begin() + static_cast<long>((r + 1) * cols_));
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  std::vector<double> col(rows_);
+  for (size_t r = 0; r < rows_; ++r) col[r] = At(r, c);
+  return col;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix result(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = At(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        result.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> result(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += At(r, c) * v[c];
+    result[r] = sum;
+  }
+  return result;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix result(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    result.data_[i] = data_[i] + other.data_[i];
+  }
+  return result;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix result(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    result.data_[i] = data_[i] - other.data_[i];
+  }
+  return result;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix result(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) result.data_[i] = data_[i] * factor;
+  return result;
+}
+
+std::vector<double> ColumnMeans(const Matrix& data) {
+  std::vector<double> means(data.cols(), 0.0);
+  if (data.rows() == 0) return means;
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < data.cols(); ++c) means[c] += data.At(r, c);
+  }
+  for (double& m : means) m /= static_cast<double>(data.rows());
+  return means;
+}
+
+std::vector<double> ColumnStdDevs(const Matrix& data) {
+  std::vector<double> stds(data.cols(), 0.0);
+  if (data.rows() < 2) return stds;
+  const std::vector<double> means = ColumnMeans(data);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < data.cols(); ++c) {
+      const double d = data.At(r, c) - means[c];
+      stds[c] += d * d;
+    }
+  }
+  for (double& s : stds) s = std::sqrt(s / static_cast<double>(data.rows()));
+  return stds;
+}
+
+Matrix Standardize(const Matrix& data, bool unit_variance) {
+  const std::vector<double> means = ColumnMeans(data);
+  const std::vector<double> stds = ColumnStdDevs(data);
+  Matrix result(data.rows(), data.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < data.cols(); ++c) {
+      double value = data.At(r, c) - means[c];
+      if (unit_variance && stds[c] > 1e-12) value /= stds[c];
+      result.At(r, c) = value;
+    }
+  }
+  return result;
+}
+
+Matrix Covariance(const Matrix& data) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Matrix cov(d, d);
+  if (n < 2) return cov;
+  const std::vector<double> means = ColumnMeans(data);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      const double di = data.At(r, i) - means[i];
+      if (di == 0.0) continue;
+      for (size_t j = i; j < d; ++j) {
+        cov.At(i, j) += di * (data.At(r, j) - means[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov.At(i, j) /= denom;
+      cov.At(j, i) = cov.At(i, j);
+    }
+  }
+  return cov;
+}
+
+EigenResult SymmetricEigen(const Matrix& symmetric, int max_sweeps) {
+  assert(symmetric.rows() == symmetric.cols());
+  const size_t n = symmetric.rows();
+  Matrix a = symmetric;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off_diagonal = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off_diagonal += std::abs(a.At(p, q));
+    }
+    if (off_diagonal < 1e-12) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a.At(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](size_t lhs, size_t rhs) { return diag[lhs] > diag[rhs]; });
+
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (size_t out = 0; out < n; ++out) {
+    const size_t src = order[out];
+    result.eigenvalues[out] = diag[src];
+    for (size_t k = 0; k < n; ++k) {
+      result.eigenvectors.At(k, out) = v.At(k, src);
+    }
+  }
+  return result;
+}
+
+bool Cholesky(const Matrix& a, Matrix* lower) {
+  assert(a.rows() == a.cols());
+  const size_t n = a.rows();
+  *lower = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= lower->At(i, k) * lower->At(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        lower->At(i, j) = std::sqrt(sum);
+      } else {
+        lower->At(i, j) = sum / lower->At(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> CholeskySolve(const Matrix& lower,
+                                  const std::vector<double>& b) {
+  const size_t n = lower.rows();
+  assert(b.size() == n);
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= lower.At(i, k) * y[k];
+    y[i] = sum / lower.At(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= lower.At(k, i) * x[k];
+    x[i] = sum / lower.At(i, i);
+  }
+  return x;
+}
+
+}  // namespace hunter::linalg

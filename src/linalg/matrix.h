@@ -1,0 +1,82 @@
+// Minimal dense linear algebra used by PCA (covariance + eigendecomposition)
+// and Gaussian-process regression (Cholesky solves). Row-major doubles; the
+// matrices in this project are small (tens to a few hundreds of rows), so
+// clarity is favored over blocking/vectorization tricks.
+
+#ifndef HUNTER_LINALG_MATRIX_H_
+#define HUNTER_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hunter::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols);
+  // Builds from nested vectors; all inner vectors must share one length.
+  explicit Matrix(const std::vector<std::vector<double>>& rows);
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<double> Row(size_t r) const;
+  std::vector<double> Col(size_t c) const;
+
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  // Element-wise operations (shapes must match).
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+  Matrix Scale(double factor) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Column means of a data matrix (one observation per row).
+std::vector<double> ColumnMeans(const Matrix& data);
+
+// Column standard deviations (population); zeros stay zero.
+std::vector<double> ColumnStdDevs(const Matrix& data);
+
+// Centers (and optionally scales to unit variance) each column.
+// Columns with zero variance are centered only.
+Matrix Standardize(const Matrix& data, bool unit_variance);
+
+// Sample covariance matrix (rows are observations).
+Matrix Covariance(const Matrix& data);
+
+// Symmetric eigendecomposition via cyclic Jacobi rotations.
+// Returns eigenvalues in descending order with matching eigenvectors
+// (each eigenvector is a column of `eigenvectors`).
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;
+};
+EigenResult SymmetricEigen(const Matrix& symmetric, int max_sweeps = 64);
+
+// Cholesky factorization A = L * L^T of a symmetric positive-definite
+// matrix. Returns false if the matrix is not (numerically) SPD.
+bool Cholesky(const Matrix& a, Matrix* lower);
+
+// Solves A x = b given the Cholesky factor L (forward + back substitution).
+std::vector<double> CholeskySolve(const Matrix& lower,
+                                  const std::vector<double>& b);
+
+}  // namespace hunter::linalg
+
+#endif  // HUNTER_LINALG_MATRIX_H_

@@ -1,0 +1,145 @@
+#include "ml/cart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace hunter::ml {
+
+namespace {
+
+struct SplitStats {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t count = 0;
+
+  void Add(double y) {
+    sum += y;
+    sum_sq += y * y;
+    ++count;
+  }
+  void Remove(double y) {
+    sum -= y;
+    sum_sq -= y * y;
+    --count;
+  }
+  // Sum of squared deviations from the mean (count * variance).
+  double SumSquaredError() const {
+    if (count == 0) return 0.0;
+    return sum_sq - sum * sum / static_cast<double>(count);
+  }
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+}  // namespace
+
+void CartTree::Fit(const linalg::Matrix& x, const std::vector<double>& y,
+                   const CartOptions& options, common::Rng* rng) {
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  if (!indices.empty()) {
+    BuildNode(x, y, indices, 0, indices.size(), 0, options, rng);
+  }
+}
+
+int CartTree::BuildNode(const linalg::Matrix& x, const std::vector<double>& y,
+                        std::vector<size_t>& indices, size_t begin, size_t end,
+                        int depth, const CartOptions& options,
+                        common::Rng* rng) {
+  const size_t count = end - begin;
+  SplitStats node_stats;
+  for (size_t i = begin; i < end; ++i) node_stats.Add(y[indices[i]]);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = node_stats.Mean();
+
+  const double node_sse = node_stats.SumSquaredError();
+  if (depth >= options.max_depth || count < 2 * options.min_samples_leaf ||
+      node_sse < 1e-12) {
+    return node_id;
+  }
+
+  // Choose candidate features (without replacement).
+  std::vector<size_t> features(x.cols());
+  std::iota(features.begin(), features.end(), 0);
+  size_t feature_budget = options.max_features == 0
+                              ? x.cols()
+                              : std::min(options.max_features, x.cols());
+  if (feature_budget < x.cols()) rng->Shuffle(&features);
+  features.resize(feature_budget);
+
+  double best_gain = 1e-12;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> column(count);  // (x value, y)
+  for (size_t feature : features) {
+    for (size_t i = 0; i < count; ++i) {
+      const size_t row = indices[begin + i];
+      column[i] = {x.At(row, feature), y[row]};
+    }
+    std::sort(column.begin(), column.end());
+
+    SplitStats left;
+    SplitStats right = node_stats;
+    for (size_t i = 0; i + 1 < count; ++i) {
+      left.Add(column[i].second);
+      right.Remove(column[i].second);
+      if (column[i].first == column[i + 1].first) continue;  // no valid cut
+      if (left.count < options.min_samples_leaf ||
+          right.count < options.min_samples_leaf) {
+        continue;
+      }
+      const double gain =
+          node_sse - left.SumSquaredError() - right.SumSquaredError();
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return node_id;
+
+  // Partition indices around the chosen threshold.
+  const auto middle = std::stable_partition(
+      indices.begin() + static_cast<long>(begin),
+      indices.begin() + static_cast<long>(end), [&](size_t row) {
+        return x.At(row, best_feature) <= best_threshold;
+      });
+  const size_t split =
+      static_cast<size_t>(middle - indices.begin());
+  if (split == begin || split == end) return node_id;  // degenerate partition
+
+  importance_[best_feature] += best_gain;
+
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left_id =
+      BuildNode(x, y, indices, begin, split, depth + 1, options, rng);
+  nodes_[node_id].left = left_id;
+  const int right_id =
+      BuildNode(x, y, indices, split, end, depth + 1, options, rng);
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+double CartTree::Predict(const std::vector<double>& row) const {
+  if (nodes_.empty()) return 0.0;
+  int node = 0;
+  while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    node = row[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+}  // namespace hunter::ml

@@ -1,0 +1,63 @@
+// Classification-and-regression tree (CART) used as the base learner of the
+// Random Forest knob-sifting step (§3.2.2). The paper builds 200 CARTs whose
+// impurity reductions are averaged into per-knob importance scores; here the
+// trees are regression trees on the performance/fitness label, and impurity
+// is variance (the continuous analogue of Gini used by scikit-learn's
+// regressor, which the paper's implementation relies on).
+
+#ifndef HUNTER_ML_CART_H_
+#define HUNTER_ML_CART_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace hunter::ml {
+
+struct CartOptions {
+  int max_depth = 8;
+  size_t min_samples_leaf = 2;
+  // Number of candidate features per split; 0 means "use all features".
+  size_t max_features = 0;
+};
+
+class CartTree {
+ public:
+  // Fits on data rows `x` with labels `y`; `rng` drives feature subsampling.
+  void Fit(const linalg::Matrix& x, const std::vector<double>& y,
+           const CartOptions& options, common::Rng* rng);
+
+  double Predict(const std::vector<double>& row) const;
+
+  // Total impurity (variance) reduction attributed to each feature,
+  // weighted by the number of samples reaching the split.
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    double value = 0.0;     // leaf prediction
+    size_t feature = 0;     // split feature
+    double threshold = 0.0; // go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const linalg::Matrix& x, const std::vector<double>& y,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                int depth, const CartOptions& options, common::Rng* rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace hunter::ml
+
+#endif  // HUNTER_ML_CART_H_

@@ -1,0 +1,147 @@
+#include "ml/ddpg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hunter::ml {
+
+namespace {
+
+std::vector<size_t> BuildSizes(size_t in, const std::vector<size_t>& hidden,
+                               size_t out) {
+  std::vector<size_t> sizes;
+  sizes.push_back(in);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+std::vector<double> Concat(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  std::vector<double> merged;
+  merged.reserve(a.size() + b.size());
+  merged.insert(merged.end(), a.begin(), a.end());
+  merged.insert(merged.end(), b.begin(), b.end());
+  return merged;
+}
+
+// Maps tanh output in [-1,1] to the normalized knob space [0,1].
+std::vector<double> TanhToUnit(const std::vector<double>& tanh_out) {
+  std::vector<double> unit(tanh_out.size());
+  for (size_t i = 0; i < tanh_out.size(); ++i) {
+    unit[i] = std::clamp(0.5 * (tanh_out[i] + 1.0), 0.0, 1.0);
+  }
+  return unit;
+}
+
+}  // namespace
+
+Ddpg::Ddpg(const DdpgOptions& options, common::Rng* rng)
+    : options_(options),
+      rng_(rng->Fork()),
+      buffer_(options.replay_capacity) {
+  assert(options.state_dim > 0 && options.action_dim > 0);
+  common::Rng init_rng = rng_.Fork();
+  actor_ = Mlp(BuildSizes(options.state_dim, options.actor_hidden,
+                          options.action_dim),
+               Activation::kReLU, Activation::kTanh, &init_rng);
+  critic_ = Mlp(BuildSizes(options.state_dim + options.action_dim,
+                           options.critic_hidden, 1),
+                Activation::kReLU, Activation::kLinear, &init_rng);
+  target_actor_ = actor_;
+  target_critic_ = critic_;
+}
+
+std::vector<double> Ddpg::Act(const std::vector<double>& state) const {
+  assert(state.size() == options_.state_dim);
+  return TanhToUnit(actor_.Predict(state));
+}
+
+void Ddpg::AddTransition(Transition transition) {
+  assert(transition.state.size() == options_.state_dim);
+  assert(transition.action.size() == options_.action_dim);
+  buffer_.Add(std::move(transition));
+}
+
+double Ddpg::TrainStep() {
+  if (buffer_.empty()) return 0.0;
+  const std::vector<Transition> batch =
+      buffer_.SampleBatch(options_.batch_size, &rng_);
+
+  // ---- Critic update: minimize (Q(s,a) - y)^2 with
+  //      y = r + gamma * Q'(s', mu'(s')).
+  double total_loss = 0.0;
+  critic_.ZeroGradients();
+  for (const Transition& t : batch) {
+    double target = t.reward;
+    if (!t.terminal) {
+      const std::vector<double> next_action =
+          TanhToUnit(target_actor_.Predict(t.next_state));
+      const std::vector<double> next_q =
+          target_critic_.Predict(Concat(t.next_state, next_action));
+      target += options_.gamma * next_q[0];
+    }
+    const std::vector<double> q = critic_.Forward(Concat(t.state, t.action));
+    const double error = q[0] - target;
+    total_loss += error * error;
+    critic_.Backward({2.0 * error});
+  }
+  critic_.AdamStep(options_.critic_lr, batch.size());
+
+  // ---- Actor update: ascend dQ/da through the critic.
+  actor_.ZeroGradients();
+  for (const Transition& t : batch) {
+    const std::vector<double> tanh_action = actor_.Forward(t.state);
+    const std::vector<double> unit_action = TanhToUnit(tanh_action);
+    critic_.Forward(Concat(t.state, unit_action));
+    // Minimize -Q => grad_output = -1. Backward also accumulates critic
+    // parameter gradients, which we discard below.
+    const std::vector<double> grad_input = critic_.Backward({-1.0});
+    std::vector<double> grad_action(options_.action_dim);
+    for (size_t i = 0; i < options_.action_dim; ++i) {
+      // Chain through the [-1,1] -> [0,1] affine map (factor 0.5).
+      grad_action[i] = 0.5 * grad_input[options_.state_dim + i];
+      if (options_.grad_clip > 0.0) {
+        grad_action[i] = std::clamp(grad_action[i], -options_.grad_clip,
+                                    options_.grad_clip);
+      }
+    }
+    actor_.Backward(grad_action);
+  }
+  critic_.ZeroGradients();  // discard gradients from the actor pass
+  actor_.AdamStep(options_.actor_lr, batch.size());
+
+  // ---- Soft target updates.
+  target_actor_.SoftUpdateFrom(actor_, options_.tau);
+  target_critic_.SoftUpdateFrom(critic_, options_.tau);
+
+  return total_loss / static_cast<double>(batch.size());
+}
+
+double Ddpg::EvaluateQ(const std::vector<double>& state,
+                       const std::vector<double>& action) const {
+  return target_critic_.Predict(Concat(state, action))[0];
+}
+
+std::vector<double> Ddpg::SaveParameters() const {
+  std::vector<double> params = actor_.SaveParameters();
+  const std::vector<double> critic_params = critic_.SaveParameters();
+  params.insert(params.end(), critic_params.begin(), critic_params.end());
+  return params;
+}
+
+void Ddpg::LoadParameters(const std::vector<double>& params) {
+  const size_t actor_size = actor_.SaveParameters().size();
+  assert(params.size() == actor_size + critic_.SaveParameters().size());
+  actor_.LoadParameters(
+      std::vector<double>(params.begin(),
+                          params.begin() + static_cast<long>(actor_size)));
+  critic_.LoadParameters(
+      std::vector<double>(params.begin() + static_cast<long>(actor_size),
+                          params.end()));
+  target_actor_.CopyFrom(actor_);
+  target_critic_.CopyFrom(critic_);
+}
+
+}  // namespace hunter::ml

@@ -1,0 +1,94 @@
+#include "ml/gaussian_process.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace hunter::ml {
+
+namespace {
+
+// Standard normal PDF and CDF (via erfc) for Expected Improvement.
+double NormalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+}  // namespace
+
+double GaussianProcess::Kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  double sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  const double ls = options_.length_scale * options_.length_scale;
+  return options_.signal_variance * std::exp(-0.5 * sq / ls);
+}
+
+bool GaussianProcess::Fit(const linalg::Matrix& x,
+                          const std::vector<double>& y) {
+  assert(x.rows() == y.size());
+  train_x_ = x;
+  train_y_ = y;
+  const size_t n = x.rows();
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  if (n > 0) y_mean_ /= static_cast<double>(n);
+
+  linalg::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> xi = x.Row(i);
+    for (size_t j = i; j < n; ++j) {
+      const double value = Kernel(xi, x.Row(j));
+      k.At(i, j) = value;
+      k.At(j, i) = value;
+    }
+    k.At(i, i) += options_.noise_variance;
+  }
+  if (!linalg::Cholesky(k, &chol_)) {
+    fitted_ = false;
+    return false;
+  }
+  std::vector<double> centered(n);
+  for (size_t i = 0; i < n; ++i) centered[i] = y[i] - y_mean_;
+  alpha_ = linalg::CholeskySolve(chol_, centered);
+  fitted_ = true;
+  return true;
+}
+
+GaussianProcess::Prediction GaussianProcess::Predict(
+    const std::vector<double>& x) const {
+  Prediction prediction;
+  if (!fitted_) {
+    prediction.variance = options_.signal_variance;
+    return prediction;
+  }
+  const size_t n = train_x_.rows();
+  std::vector<double> k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = Kernel(x, train_x_.Row(i));
+
+  double mean = y_mean_;
+  for (size_t i = 0; i < n; ++i) mean += k_star[i] * alpha_[i];
+  prediction.mean = mean;
+
+  // variance = k(x,x) - k_star^T (K + noise)^{-1} k_star.
+  const std::vector<double> v = linalg::CholeskySolve(chol_, k_star);
+  double reduction = 0.0;
+  for (size_t i = 0; i < n; ++i) reduction += k_star[i] * v[i];
+  prediction.variance = std::max(0.0, Kernel(x, x) - reduction);
+  return prediction;
+}
+
+double GaussianProcess::ExpectedImprovement(const std::vector<double>& x,
+                                            double best_so_far) const {
+  const Prediction p = Predict(x);
+  const double sigma = std::sqrt(p.variance);
+  if (sigma < 1e-12) return std::max(0.0, p.mean - best_so_far);
+  const double z = (p.mean - best_so_far) / sigma;
+  return (p.mean - best_so_far) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+}  // namespace hunter::ml

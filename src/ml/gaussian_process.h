@@ -1,0 +1,60 @@
+// Gaussian-process regression with a squared-exponential kernel plus the
+// Expected-Improvement acquisition, implementing the surrogate model used by
+// the OtterTune / iTuned line of work (§1 "Current Landscape") and by the
+// ResTune-style meta-learning baseline.
+
+#ifndef HUNTER_ML_GAUSSIAN_PROCESS_H_
+#define HUNTER_ML_GAUSSIAN_PROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace hunter::ml {
+
+struct GpOptions {
+  double length_scale = 0.9;   // shared SE length scale in normalized space
+  double signal_variance = 1.0;
+  double noise_variance = 5e-3;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpOptions options = {}) : options_(options) {}
+
+  // Fits on inputs `x` (rows = observations in [0,1]^d) and targets `y`.
+  // Returns false if the kernel matrix is numerically singular.
+  bool Fit(const linalg::Matrix& x, const std::vector<double>& y);
+
+  bool fitted() const { return fitted_; }
+  size_t num_observations() const { return train_x_.rows(); }
+
+  // Posterior mean and variance at a query point.
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Prediction Predict(const std::vector<double>& x) const;
+
+  // Expected improvement over `best_so_far` (maximization convention).
+  double ExpectedImprovement(const std::vector<double>& x,
+                             double best_so_far) const;
+
+  const GpOptions& options() const { return options_; }
+
+ private:
+  double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  GpOptions options_;
+  bool fitted_ = false;
+  linalg::Matrix train_x_;
+  std::vector<double> train_y_;
+  double y_mean_ = 0.0;
+  linalg::Matrix chol_;            // Cholesky factor of K + noise I
+  std::vector<double> alpha_;      // (K + noise I)^-1 (y - mean)
+};
+
+}  // namespace hunter::ml
+
+#endif  // HUNTER_ML_GAUSSIAN_PROCESS_H_

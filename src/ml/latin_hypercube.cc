@@ -1,0 +1,25 @@
+#include "ml/latin_hypercube.h"
+
+#include <numeric>
+
+namespace hunter::ml {
+
+std::vector<std::vector<double>> LatinHypercube(size_t num_samples, size_t dim,
+                                                common::Rng* rng) {
+  std::vector<std::vector<double>> samples(num_samples,
+                                           std::vector<double>(dim, 0.0));
+  if (num_samples == 0) return samples;
+  std::vector<size_t> strata(num_samples);
+  for (size_t d = 0; d < dim; ++d) {
+    std::iota(strata.begin(), strata.end(), 0);
+    rng->Shuffle(&strata);
+    for (size_t s = 0; s < num_samples; ++s) {
+      const double cell = (static_cast<double>(strata[s]) + rng->Uniform()) /
+                          static_cast<double>(num_samples);
+      samples[s][d] = cell;
+    }
+  }
+  return samples;
+}
+
+}  // namespace hunter::ml

@@ -1,0 +1,21 @@
+// Latin Hypercube Sampling in the unit hypercube, the space-filling sampler
+// used by BestConfig and OtterTune for their initial designs (§3.1).
+
+#ifndef HUNTER_ML_LATIN_HYPERCUBE_H_
+#define HUNTER_ML_LATIN_HYPERCUBE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hunter::ml {
+
+// Returns `num_samples` points in [0,1]^dim such that each dimension's
+// samples occupy distinct equal-width strata (one per sample).
+std::vector<std::vector<double>> LatinHypercube(size_t num_samples, size_t dim,
+                                                common::Rng* rng);
+
+}  // namespace hunter::ml
+
+#endif  // HUNTER_ML_LATIN_HYPERCUBE_H_

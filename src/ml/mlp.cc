@@ -1,0 +1,213 @@
+#include "ml/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hunter::ml {
+
+Mlp::Mlp(const std::vector<size_t>& layer_sizes, Activation hidden,
+         Activation output, common::Rng* rng) {
+  assert(layer_sizes.size() >= 2);
+  layers_.resize(layer_sizes.size() - 1);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Layer& layer = layers_[i];
+    layer.in = layer_sizes[i];
+    layer.out = layer_sizes[i + 1];
+    layer.activation = (i + 1 == layers_.size()) ? output : hidden;
+    layer.weights.resize(layer.in * layer.out);
+    layer.bias.assign(layer.out, 0.0);
+    // He/Xavier-style initialization scaled by fan-in.
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (double& w : layer.weights) w = rng->Gaussian(0.0, scale);
+    layer.grad_weights.assign(layer.weights.size(), 0.0);
+    layer.grad_bias.assign(layer.out, 0.0);
+    layer.m_weights.assign(layer.weights.size(), 0.0);
+    layer.v_weights.assign(layer.weights.size(), 0.0);
+    layer.m_bias.assign(layer.out, 0.0);
+    layer.v_bias.assign(layer.out, 0.0);
+  }
+}
+
+double Mlp::Activate(double x, Activation act) {
+  switch (act) {
+    case Activation::kReLU:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kLinear:
+      return x;
+  }
+  return x;
+}
+
+double Mlp::ActivateGrad(double pre, double post, Activation act) {
+  switch (act) {
+    case Activation::kReLU:
+      return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - post * post;
+    case Activation::kLinear:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& input) {
+  assert(!layers_.empty());
+  std::vector<double> activation = input;
+  for (Layer& layer : layers_) {
+    assert(activation.size() == layer.in);
+    layer.input_cache = activation;
+    layer.pre_activation.assign(layer.out, 0.0);
+    for (size_t o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[o];
+      const double* w = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) sum += w[i] * activation[i];
+      layer.pre_activation[o] = sum;
+    }
+    layer.output_cache.resize(layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      layer.output_cache[o] = Activate(layer.pre_activation[o], layer.activation);
+    }
+    activation = layer.output_cache;
+  }
+  return activation;
+}
+
+std::vector<double> Mlp::Predict(const std::vector<double>& input) const {
+  assert(!layers_.empty());
+  std::vector<double> activation = input;
+  std::vector<double> next;
+  for (const Layer& layer : layers_) {
+    assert(activation.size() == layer.in);
+    next.assign(layer.out, 0.0);
+    for (size_t o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[o];
+      const double* w = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) sum += w[i] * activation[i];
+      next[o] = Activate(sum, layer.activation);
+    }
+    activation.swap(next);
+  }
+  return activation;
+}
+
+std::vector<double> Mlp::Backward(const std::vector<double>& grad_output) {
+  assert(!layers_.empty());
+  std::vector<double> grad = grad_output;
+  for (size_t li = layers_.size(); li > 0; --li) {
+    Layer& layer = layers_[li - 1];
+    assert(grad.size() == layer.out);
+    // Gradient through activation.
+    std::vector<double> delta(layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      delta[o] = grad[o] * ActivateGrad(layer.pre_activation[o],
+                                        layer.output_cache[o],
+                                        layer.activation);
+    }
+    // Parameter gradients.
+    for (size_t o = 0; o < layer.out; ++o) {
+      double* gw = &layer.grad_weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) {
+        gw[i] += delta[o] * layer.input_cache[i];
+      }
+      layer.grad_bias[o] += delta[o];
+    }
+    // Gradient w.r.t. the layer input.
+    std::vector<double> grad_input(layer.in, 0.0);
+    for (size_t o = 0; o < layer.out; ++o) {
+      const double* w = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) grad_input[i] += w[i] * delta[o];
+    }
+    grad.swap(grad_input);
+  }
+  return grad;
+}
+
+void Mlp::AdamStep(double learning_rate, size_t batch_size) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEpsilon = 1e-8;
+  ++adam_step_;
+  const double scale = batch_size > 0 ? 1.0 / static_cast<double>(batch_size) : 1.0;
+  const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_step_));
+  const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_step_));
+  for (Layer& layer : layers_) {
+    for (size_t i = 0; i < layer.weights.size(); ++i) {
+      const double g = layer.grad_weights[i] * scale;
+      layer.m_weights[i] = kBeta1 * layer.m_weights[i] + (1.0 - kBeta1) * g;
+      layer.v_weights[i] = kBeta2 * layer.v_weights[i] + (1.0 - kBeta2) * g * g;
+      const double mhat = layer.m_weights[i] / bias1;
+      const double vhat = layer.v_weights[i] / bias2;
+      layer.weights[i] -= learning_rate * mhat / (std::sqrt(vhat) + kEpsilon);
+    }
+    for (size_t o = 0; o < layer.out; ++o) {
+      const double g = layer.grad_bias[o] * scale;
+      layer.m_bias[o] = kBeta1 * layer.m_bias[o] + (1.0 - kBeta1) * g;
+      layer.v_bias[o] = kBeta2 * layer.v_bias[o] + (1.0 - kBeta2) * g * g;
+      const double mhat = layer.m_bias[o] / bias1;
+      const double vhat = layer.v_bias[o] / bias2;
+      layer.bias[o] -= learning_rate * mhat / (std::sqrt(vhat) + kEpsilon);
+    }
+  }
+  ZeroGradients();
+}
+
+void Mlp::ZeroGradients() {
+  for (Layer& layer : layers_) {
+    std::fill(layer.grad_weights.begin(), layer.grad_weights.end(), 0.0);
+    std::fill(layer.grad_bias.begin(), layer.grad_bias.end(), 0.0);
+  }
+}
+
+void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
+  assert(layers_.size() == other.layers_.size());
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    Layer& dst = layers_[li];
+    const Layer& src = other.layers_[li];
+    assert(dst.weights.size() == src.weights.size());
+    for (size_t i = 0; i < dst.weights.size(); ++i) {
+      dst.weights[i] = tau * src.weights[i] + (1.0 - tau) * dst.weights[i];
+    }
+    for (size_t o = 0; o < dst.out; ++o) {
+      dst.bias[o] = tau * src.bias[o] + (1.0 - tau) * dst.bias[o];
+    }
+  }
+}
+
+void Mlp::CopyFrom(const Mlp& other) { SoftUpdateFrom(other, 1.0); }
+
+std::vector<double> Mlp::SaveParameters() const {
+  std::vector<double> params;
+  for (const Layer& layer : layers_) {
+    params.insert(params.end(), layer.weights.begin(), layer.weights.end());
+    params.insert(params.end(), layer.bias.begin(), layer.bias.end());
+  }
+  return params;
+}
+
+void Mlp::LoadParameters(const std::vector<double>& params) {
+  size_t offset = 0;
+  for (Layer& layer : layers_) {
+    assert(offset + layer.weights.size() + layer.bias.size() <= params.size());
+    std::copy(params.begin() + static_cast<long>(offset),
+              params.begin() + static_cast<long>(offset + layer.weights.size()),
+              layer.weights.begin());
+    offset += layer.weights.size();
+    std::copy(params.begin() + static_cast<long>(offset),
+              params.begin() + static_cast<long>(offset + layer.bias.size()),
+              layer.bias.begin());
+    offset += layer.bias.size();
+  }
+  assert(offset == params.size());
+}
+
+size_t Mlp::input_dim() const {
+  return layers_.empty() ? 0 : layers_.front().in;
+}
+
+size_t Mlp::output_dim() const {
+  return layers_.empty() ? 0 : layers_.back().out;
+}
+
+}  // namespace hunter::ml

@@ -1,0 +1,86 @@
+// A small fully-connected network with Adam, sufficient for DDPG's actor and
+// critic (the paper's Recommender trains two MLPs; CDBTune uses the same).
+// Supports forward, backward (returning the gradient w.r.t. the input, which
+// DDPG's actor update needs to pull dQ/da out of the critic), soft target
+// updates, and parameter (de)serialization for the model-reuse schemes (§4).
+
+#ifndef HUNTER_ML_MLP_H_
+#define HUNTER_ML_MLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hunter::ml {
+
+enum class Activation { kReLU, kTanh, kLinear };
+
+class Mlp {
+ public:
+  Mlp() = default;
+
+  // `layer_sizes` = {input, hidden..., output}; `hidden` activation applies
+  // to all but the last layer, `output` to the last.
+  Mlp(const std::vector<size_t>& layer_sizes, Activation hidden,
+      Activation output, common::Rng* rng);
+
+  // Forward pass on a single example; caches activations for Backward.
+  std::vector<double> Forward(const std::vector<double>& input);
+
+  // Forward pass without touching the backprop caches (safe for target nets
+  // and concurrent evaluation after training).
+  std::vector<double> Predict(const std::vector<double>& input) const;
+
+  // Backpropagates `grad_output` (dLoss/dOutput) through the cached forward
+  // pass, accumulating parameter gradients; returns dLoss/dInput.
+  std::vector<double> Backward(const std::vector<double>& grad_output);
+
+  // Applies one Adam update using the accumulated gradients (scaled by
+  // 1/batch_size) and clears them.
+  void AdamStep(double learning_rate, size_t batch_size);
+
+  void ZeroGradients();
+
+  // this = tau * other + (1 - tau) * this (per parameter). Shapes must match.
+  void SoftUpdateFrom(const Mlp& other, double tau);
+
+  // Hard copy of the other network's parameters (shapes must match).
+  void CopyFrom(const Mlp& other);
+
+  // Flattened parameter vector (weights then biases per layer), used by the
+  // model-reuse schemes to save/restore a Recommender.
+  std::vector<double> SaveParameters() const;
+  void LoadParameters(const std::vector<double>& params);
+
+  size_t input_dim() const;
+  size_t output_dim() const;
+  bool initialized() const { return !layers_.empty(); }
+
+ private:
+  struct Layer {
+    size_t in = 0;
+    size_t out = 0;
+    Activation activation = Activation::kLinear;
+    std::vector<double> weights;  // out x in, row-major
+    std::vector<double> bias;
+    // Accumulated gradients and Adam moments.
+    std::vector<double> grad_weights;
+    std::vector<double> grad_bias;
+    std::vector<double> m_weights, v_weights, m_bias, v_bias;
+    // Forward caches (single example).
+    std::vector<double> input_cache;
+    std::vector<double> pre_activation;
+    std::vector<double> output_cache;
+  };
+
+  static double Activate(double x, Activation act);
+  static double ActivateGrad(double pre, double post, Activation act);
+
+  std::vector<Layer> layers_;
+  size_t adam_step_ = 0;
+};
+
+}  // namespace hunter::ml
+
+#endif  // HUNTER_ML_MLP_H_

@@ -1,0 +1,16 @@
+#include "ml/ou_noise.h"
+
+namespace hunter::ml {
+
+const std::vector<double>& OuNoise::Sample(common::Rng* rng) {
+  for (double& x : state_) {
+    x += theta_ * (mu_ - x) + sigma_ * rng->Gaussian();
+  }
+  return state_;
+}
+
+void OuNoise::Reset() {
+  for (double& x : state_) x = mu_;
+}
+
+}  // namespace hunter::ml

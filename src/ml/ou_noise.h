@@ -1,0 +1,38 @@
+// Ornstein-Uhlenbeck exploration noise, the standard DDPG exploration process
+// (Lillicrap et al. 2015) used by the CDBTune baseline and by HUNTER's
+// Recommender when FES selects the "current action" branch.
+
+#ifndef HUNTER_ML_OU_NOISE_H_
+#define HUNTER_ML_OU_NOISE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hunter::ml {
+
+class OuNoise {
+ public:
+  OuNoise(size_t dim, double theta = 0.15, double sigma = 0.2, double mu = 0.0)
+      : theta_(theta), sigma_(sigma), mu_(mu), state_(dim, mu) {}
+
+  // Advances the process one step and returns the current noise vector.
+  const std::vector<double>& Sample(common::Rng* rng);
+
+  void Reset();
+
+  // Scales the diffusion term (used to decay exploration over time).
+  void set_sigma(double sigma) { sigma_ = sigma; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double theta_;
+  double sigma_;
+  double mu_;
+  std::vector<double> state_;
+};
+
+}  // namespace hunter::ml
+
+#endif  // HUNTER_ML_OU_NOISE_H_

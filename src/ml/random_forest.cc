@@ -1,0 +1,66 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hunter::ml {
+
+void RandomForest::Fit(const linalg::Matrix& x, const std::vector<double>& y,
+                       const RandomForestOptions& options, common::Rng* rng) {
+  trees_.assign(options.num_trees, CartTree());
+  importance_.assign(x.cols(), 0.0);
+
+  CartOptions tree_options = options.tree;
+  if (tree_options.max_features == 0) {
+    tree_options.max_features = static_cast<size_t>(
+        std::ceil(options.feature_fraction * static_cast<double>(x.cols())));
+    tree_options.max_features = std::max<size_t>(1, tree_options.max_features);
+  }
+
+  const size_t n = x.rows();
+  std::vector<size_t> bootstrap(n);
+  linalg::Matrix sample_x(n, x.cols());
+  std::vector<double> sample_y(n);
+  for (auto& tree : trees_) {
+    for (size_t i = 0; i < n; ++i) {
+      bootstrap[i] = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < x.cols(); ++c) {
+        sample_x.At(i, c) = x.At(bootstrap[i], c);
+      }
+      sample_y[i] = y[bootstrap[i]];
+    }
+    tree.Fit(sample_x, sample_y, tree_options, rng);
+    const std::vector<double>& tree_importance = tree.feature_importance();
+    for (size_t c = 0; c < importance_.size(); ++c) {
+      importance_[c] += tree_importance[c];
+    }
+  }
+
+  double total = 0.0;
+  for (double v : importance_) total += v;
+  if (total > 0.0) {
+    for (double& v : importance_) v /= total;
+  }
+}
+
+double RandomForest::Predict(const std::vector<double>& row) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<size_t> RandomForest::RankFeatures() const {
+  std::vector<size_t> order(importance_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return importance_[a] > importance_[b];
+  });
+  return order;
+}
+
+}  // namespace hunter::ml

@@ -1,0 +1,23 @@
+#include "ml/replay_buffer.h"
+
+namespace hunter::ml {
+
+void ReplayBuffer::Add(Transition transition) {
+  if (buffer_.size() >= capacity_) buffer_.pop_front();
+  buffer_.push_back(std::move(transition));
+}
+
+std::vector<Transition> ReplayBuffer::SampleBatch(size_t batch_size,
+                                                  common::Rng* rng) const {
+  std::vector<Transition> batch;
+  if (buffer_.empty()) return batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    const size_t index = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(buffer_.size()) - 1));
+    batch.push_back(buffer_[index]);
+  }
+  return batch;
+}
+
+}  // namespace hunter::ml

@@ -1,0 +1,19 @@
+#include "tuners/qtune.h"
+
+#include <cmath>
+
+namespace hunter::tuners {
+
+std::vector<double> WorkloadFeatures(const cdb::WorkloadProfile& profile) {
+  return {
+      profile.read_fraction,
+      profile.scan_fraction,
+      std::log1p(profile.ops_per_txn) / 5.0,
+      std::log1p(profile.data_size_gb) / 8.0,
+      std::log1p(static_cast<double>(profile.client_threads)) / 8.0,
+      profile.zipf_theta,
+      std::log1p(profile.write_rows_per_txn) / 4.0,
+  };
+}
+
+}  // namespace hunter::tuners

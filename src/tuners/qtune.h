@@ -1,0 +1,28 @@
+// QTune (Li et al., VLDB'19), approximated as DS-DDPG: the DDPG agent's
+// state is augmented with a query/workload feature vector so the policy is
+// workload-aware. Reuses the CdbTune DDPG plumbing with the feature tail.
+
+#ifndef HUNTER_TUNERS_QTUNE_H_
+#define HUNTER_TUNERS_QTUNE_H_
+
+#include "cdb/workload_profile.h"
+#include "tuners/cdbtune.h"
+
+namespace hunter::tuners {
+
+// Featurizes a workload the way QTune's query2vector summarizes query mixes
+// (operation counts, read/write shape, data volume).
+std::vector<double> WorkloadFeatures(const cdb::WorkloadProfile& profile);
+
+class QTuneTuner : public CdbTuneTuner {
+ public:
+  QTuneTuner(size_t num_metrics, size_t num_knobs,
+             const cdb::WorkloadProfile& profile,
+             const CdbTuneOptions& options, uint64_t seed)
+      : CdbTuneTuner(num_metrics, num_knobs, WorkloadFeatures(profile),
+                     options, seed, "QTune") {}
+};
+
+}  // namespace hunter::tuners
+
+#endif  // HUNTER_TUNERS_QTUNE_H_

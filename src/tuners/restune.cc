@@ -1,0 +1,43 @@
+#include "tuners/restune.h"
+
+#include <cmath>
+
+namespace hunter::tuners {
+
+void ResTuneTuner::AddHistoricalModel(
+    std::shared_ptr<ml::GaussianProcess> model,
+    std::vector<double> workload_features) {
+  base_models_.push_back({std::move(model), std::move(workload_features)});
+}
+
+double ResTuneTuner::Acquisition(const std::vector<double>& candidate) const {
+  // Target EI as in OtterTune.
+  double score = gp_.ExpectedImprovement(candidate, best_fitness_);
+  if (base_models_.empty()) return score;
+
+  // Blend in historical models, weighted by workload similarity (RBF over
+  // feature distance). Historical weight shrinks as target evidence grows.
+  const double evidence = static_cast<double>(observed_fitness_.size());
+  const double meta_weight = 1.0 / (1.0 + 0.1 * evidence);
+  double meta_score = 0.0;
+  double weight_sum = 0.0;
+  for (const BaseModel& base : base_models_) {
+    double sq = 0.0;
+    const size_t n = std::min(base.features.size(), target_features_.size());
+    for (size_t i = 0; i < n; ++i) {
+      const double d = base.features[i] - target_features_[i];
+      sq += d * d;
+    }
+    const double similarity = std::exp(-sq / 0.5);
+    meta_score +=
+        similarity * base.gp->ExpectedImprovement(candidate, best_fitness_);
+    weight_sum += similarity;
+  }
+  if (weight_sum > 1e-9) {
+    score = (1.0 - meta_weight) * score +
+            meta_weight * (meta_score / weight_sum);
+  }
+  return score;
+}
+
+}  // namespace hunter::tuners

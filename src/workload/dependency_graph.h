@@ -1,0 +1,71 @@
+// Transactions-dependency-graph replay (§2.1, Figure 3).
+//
+// Replaying a captured production workload strictly in arrival order yields
+// low concurrency. HUNTER instead builds a DAG whose edges are conflicts
+// between transactions (ordered by original commit sequence) and replays a
+// transaction as soon as all its parents finished. This module implements
+// trace capture (synthetic), conflict detection over read/write sets, DAG
+// construction, topological wave scheduling, and the resulting effective
+// parallelism — which feeds the engine profile's max_replay_parallelism.
+
+#ifndef HUNTER_WORKLOAD_DEPENDENCY_GRAPH_H_
+#define HUNTER_WORKLOAD_DEPENDENCY_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hunter::workload {
+
+struct TracedTransaction {
+  uint64_t id = 0;
+  std::vector<uint64_t> read_set;   // row ids read
+  std::vector<uint64_t> write_set;  // row ids written
+};
+
+// Generates a synthetic captured trace (the Workload Generator's "collect
+// queries from the user's instance in a time window" step) with Zipfian row
+// choice over `row_space`.
+std::vector<TracedTransaction> GenerateTrace(size_t num_txns,
+                                             uint64_t row_space,
+                                             double zipf_theta,
+                                             double reads_per_txn,
+                                             double writes_per_txn,
+                                             common::Rng* rng);
+
+class TxnDependencyGraph {
+ public:
+  // Builds the conflict DAG. Two transactions conflict when one writes a row
+  // the other reads or writes; the edge points from the earlier transaction
+  // to the later one, so the graph is acyclic by construction.
+  explicit TxnDependencyGraph(const std::vector<TracedTransaction>& trace);
+
+  size_t num_transactions() const { return parents_count_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  // Children of transaction `i` (transactions that must wait for it).
+  const std::vector<uint32_t>& children(size_t i) const { return children_[i]; }
+  size_t parent_count(size_t i) const { return parents_count_[i]; }
+
+  // Topological wave schedule: wave k holds every transaction whose longest
+  // parent chain has length k. All transactions within a wave can run
+  // concurrently (Fig. 3: wave 0 = {A1, A2}, wave 1 = {B1, B2, B3}, ...).
+  std::vector<std::vector<uint32_t>> WaveSchedule() const;
+
+  // Mean wave width — the effective replay parallelism the DAG permits.
+  double EffectiveParallelism() const;
+
+  // Length of the longest dependency chain (the replay's critical path).
+  size_t CriticalPathLength() const;
+
+ private:
+  std::vector<std::vector<uint32_t>> children_;
+  std::vector<size_t> parents_count_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace hunter::workload
+
+#endif  // HUNTER_WORKLOAD_DEPENDENCY_GRAPH_H_

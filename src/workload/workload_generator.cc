@@ -1,0 +1,33 @@
+#include "workload/workload_generator.h"
+
+#include <algorithm>
+
+namespace hunter::workload {
+
+GeneratedWorkload WorkloadGenerator::Build(const cdb::WorkloadProfile& base,
+                                           const CaptureWindow& window,
+                                           common::Rng* rng) {
+  GeneratedWorkload generated;
+  const std::vector<TracedTransaction> trace =
+      GenerateTrace(window.num_txns, window.row_space, window.zipf_theta,
+                    window.reads_per_txn, window.writes_per_txn, rng);
+  const TxnDependencyGraph graph(trace);
+
+  generated.profile = base;
+  generated.profile.name = base.name + "_replay";
+  generated.dag_parallelism = graph.EffectiveParallelism();
+  generated.critical_path = graph.CriticalPathLength();
+  generated.profile.max_replay_parallelism =
+      std::max(1.0, generated.dag_parallelism);
+  generated.profile.zipf_theta = window.zipf_theta;
+  const double total_ops = window.reads_per_txn + window.writes_per_txn;
+  if (total_ops > 0.0) {
+    generated.profile.read_fraction = window.reads_per_txn / total_ops;
+    generated.profile.ops_per_txn = total_ops;
+    generated.profile.write_rows_per_txn = window.writes_per_txn;
+  }
+  generated.profile.hot_rows = window.row_space;
+  return generated;
+}
+
+}  // namespace hunter::workload

@@ -1,0 +1,111 @@
+#include "workload/workloads.h"
+
+namespace hunter::workload {
+
+using cdb::WorkloadProfile;
+
+namespace {
+
+WorkloadProfile SysbenchBase() {
+  WorkloadProfile profile;
+  profile.data_size_gb = 8.0;        // 8 tables x 8M rows (Table 2)
+  profile.client_threads = 512;
+  profile.scan_fraction = 0.08;      // range SELECTs in the oltp mix
+  profile.zipf_theta = 0.65;
+  profile.ops_per_txn = 18.0;        // 10 point reads, 4 ranges, 4 writes
+  profile.hot_rows = 64000000;       // 8 x 8M rows; uniform writes conflict rarely
+  profile.hot_writes_per_txn = 4.0;
+  profile.lock_zipf_theta = 0.2;
+  profile.cpu_ms_per_op = 0.085;     // light point accesses
+  profile.redo_kb_per_txn = 3.0;
+  return profile;
+}
+
+}  // namespace
+
+WorkloadProfile SysbenchReadOnly() {
+  WorkloadProfile profile = SysbenchBase();
+  profile.name = "sysbench_ro";
+  profile.read_fraction = 1.0;
+  profile.write_rows_per_txn = 0.0;
+  profile.redo_kb_per_txn = 0.05;
+  return profile;
+}
+
+WorkloadProfile SysbenchWriteOnly() {
+  WorkloadProfile profile = SysbenchBase();
+  profile.name = "sysbench_wo";
+  profile.read_fraction = 0.0;
+  profile.scan_fraction = 0.0;
+  profile.ops_per_txn = 10.0;
+  profile.write_rows_per_txn = 8.0;
+  profile.redo_kb_per_txn = 5.0;
+  return profile;
+}
+
+WorkloadProfile SysbenchReadWrite() { return SysbenchReadWriteRatio(1.0); }
+
+WorkloadProfile SysbenchReadWriteRatio(double reads_per_write) {
+  WorkloadProfile profile = SysbenchBase();
+  profile.name = "sysbench_rw_" + std::to_string(reads_per_write) + ":1";
+  profile.read_fraction = reads_per_write / (reads_per_write + 1.0);
+  profile.write_rows_per_txn =
+      profile.ops_per_txn * (1.0 - profile.read_fraction) * 0.8;
+  profile.redo_kb_per_txn = 1.0 + 4.0 * (1.0 - profile.read_fraction);
+  return profile;
+}
+
+WorkloadProfile Tpcc() {
+  WorkloadProfile profile;
+  profile.name = "tpcc";
+  profile.data_size_gb = 8.97;      // 50 warehouses (Table 2)
+  profile.client_threads = 32;
+  profile.read_fraction = 19.0 / 29.0;  // R/W 19:10
+  profile.scan_fraction = 0.12;     // stock-level / order-status scans
+  profile.zipf_theta = 0.75;        // warehouse/district locality
+  profile.ops_per_txn = 32.0;       // NewOrder-dominated mix
+  profile.write_rows_per_txn = 10.0;
+  profile.cpu_ms_per_op = 0.22;     // heavier statements (joins, sums)
+  profile.redo_kb_per_txn = 6.0;
+  // District rows are the classic TPC-C conflict hot spot: one district
+  // update per NewOrder, spread uniformly over 50x10 district rows.
+  profile.hot_rows = 50 * 10;
+  profile.hot_writes_per_txn = 1.2;
+  profile.lock_zipf_theta = 0.0;
+  return profile;
+}
+
+WorkloadProfile Production(bool morning) {
+  WorkloadProfile profile;
+  profile.name = morning ? "production_9am" : "production_9pm";
+  profile.data_size_gb = 256.0;     // 222 tables, ~250 GB (Table 2)
+  profile.client_threads = 128;     // replay concurrency bound (DAG waves)
+  profile.read_fraction = morning ? 20.0 / 49.0 : 14.0 / 49.0;
+  profile.scan_fraction = morning ? 0.10 : 0.05;
+  profile.zipf_theta = morning ? 0.85 : 0.78;
+  profile.ops_per_txn = 12.0;
+  profile.write_rows_per_txn = morning ? 5.0 : 7.5;
+  profile.hot_rows = 3000000;
+  profile.hot_writes_per_txn = 2.0;
+  profile.lock_zipf_theta = 0.5;
+  profile.cpu_ms_per_op = 0.05;
+  profile.redo_kb_per_txn = morning ? 4.0 : 6.0;
+  profile.max_replay_parallelism = morning ? 96.0 : 80.0;
+  return profile;
+}
+
+std::vector<WorkloadProfile> AllStandardWorkloads() {
+  return {SysbenchReadOnly(), SysbenchReadWrite(), SysbenchWriteOnly(), Tpcc(),
+          Production(true)};
+}
+
+WorkloadProfile ScaleDataSize(const WorkloadProfile& base, double factor) {
+  WorkloadProfile scaled = base;
+  scaled.data_size_gb *= factor;
+  scaled.hot_rows = static_cast<uint64_t>(
+      static_cast<double>(scaled.hot_rows) * factor);
+  scaled.name = base.name + "_x" + std::to_string(factor);
+  return scaled;
+}
+
+}  // namespace hunter::workload

@@ -1,0 +1,40 @@
+// The five workloads of the paper's Table 2 (Sysbench RO/RW/WO, TPC-C,
+// Production) expressed as engine-facing profiles, plus the Sysbench RW
+// (4:1) variant of §6.4 and the drifted 9 pm Production workload of Fig. 10.
+//
+// | Name      | Sysbench RO/RW/WO | TPC-C  | Production |
+// | Size (GB) | 8 / 8 / 8         | 8.97   | 256        |
+// | #Thread   | 512               | 32     | (replay)   |
+// | R/W ratio | 1:0 / 1:1 / 0:1   | 19:10  | 20:29      |
+
+#ifndef HUNTER_WORKLOAD_WORKLOADS_H_
+#define HUNTER_WORKLOAD_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "cdb/workload_profile.h"
+
+namespace hunter::workload {
+
+cdb::WorkloadProfile SysbenchReadOnly();
+cdb::WorkloadProfile SysbenchWriteOnly();
+cdb::WorkloadProfile SysbenchReadWrite();          // 1:1
+cdb::WorkloadProfile SysbenchReadWriteRatio(double reads_per_write);
+cdb::WorkloadProfile Tpcc();
+// The real-world education workload, replayed from a captured window.
+// `morning` selects the 9:00 am capture; false selects the drifted 9:00 pm
+// capture (more write-heavy, different skew) used in Fig. 10(b).
+cdb::WorkloadProfile Production(bool morning);
+
+// All benchmark workloads keyed by the names used in the paper's figures.
+std::vector<cdb::WorkloadProfile> AllStandardWorkloads();
+
+// Scales a workload's data volume by `factor` (the §5 warm-up discussion
+// scales Sysbench by 10x).
+cdb::WorkloadProfile ScaleDataSize(const cdb::WorkloadProfile& base,
+                                   double factor);
+
+}  // namespace hunter::workload
+
+#endif  // HUNTER_WORKLOAD_WORKLOADS_H_

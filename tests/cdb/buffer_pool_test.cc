@@ -1,0 +1,112 @@
+#include "cdb/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hunter::cdb {
+namespace {
+
+TEST(BufferPoolTest, ColdMissesThenHits) {
+  BufferPool pool(10);
+  EXPECT_FALSE(pool.Access(1, false));
+  EXPECT_TRUE(pool.Access(1, false));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  pool.Access(1, false);
+  pool.Access(2, false);
+  pool.Access(1, false);   // 1 now most recent
+  pool.Access(3, false);   // evicts 2
+  EXPECT_TRUE(pool.Access(1, false));
+  EXPECT_FALSE(pool.Access(2, false));
+}
+
+TEST(BufferPoolTest, CapacityNeverExceeded) {
+  BufferPool pool(5);
+  for (uint64_t p = 0; p < 100; ++p) pool.Access(p, false);
+  EXPECT_EQ(pool.resident_pages(), 5u);
+}
+
+TEST(BufferPoolTest, DirtyTrackingAndFlush) {
+  BufferPool pool(10);
+  pool.Access(1, true);
+  pool.Access(2, true);
+  pool.Access(3, false);
+  EXPECT_EQ(pool.dirty_pages(), 2u);
+  EXPECT_DOUBLE_EQ(pool.DirtyFraction(), 2.0 / 3.0);
+  EXPECT_EQ(pool.FlushDirty(1), 1u);
+  EXPECT_EQ(pool.dirty_pages(), 1u);
+  EXPECT_EQ(pool.FlushDirty(10), 1u);
+  EXPECT_EQ(pool.dirty_pages(), 0u);
+}
+
+TEST(BufferPoolTest, DirtyEvictionCounted) {
+  BufferPool pool(1);
+  pool.Access(1, true);
+  pool.Access(2, false);  // evicts dirty page 1
+  EXPECT_EQ(pool.dirty_evictions(), 1u);
+  EXPECT_EQ(pool.dirty_pages(), 0u);
+}
+
+TEST(BufferPoolTest, RewriteDoesNotDoubleCountDirty) {
+  BufferPool pool(4);
+  pool.Access(1, true);
+  pool.Access(1, true);
+  EXPECT_EQ(pool.dirty_pages(), 1u);
+}
+
+TEST(BufferPoolTest, HitRatioGrowsWithCapacityUnderZipf) {
+  common::Rng rng(1);
+  auto measure = [&](uint64_t capacity) {
+    BufferPool pool(capacity);
+    common::Rng local(42);
+    for (int i = 0; i < 5000; ++i) pool.Access(local.Zipf(4096, 0.8), false);
+    pool.ResetCounters();
+    for (int i = 0; i < 5000; ++i) pool.Access(local.Zipf(4096, 0.8), false);
+    return pool.HitRatio();
+  };
+  const double small = measure(64);
+  const double medium = measure(512);
+  const double large = measure(4096);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_GT(large, 0.80);  // most of the working set resident
+  EXPECT_GT(small, 0.15);  // Zipf head still caught by a small pool
+}
+
+TEST(BufferPoolTest, PrewarmMakesHotPagesResident) {
+  BufferPool pool(100);
+  pool.Prewarm(100);
+  EXPECT_EQ(pool.resident_pages(), 100u);
+  EXPECT_TRUE(pool.Access(0, false));
+  EXPECT_TRUE(pool.Access(99, false));
+  EXPECT_FALSE(pool.Access(100, false));
+}
+
+TEST(BufferPoolTest, PrewarmRespectsCapacity) {
+  BufferPool pool(10);
+  pool.Prewarm(100);
+  EXPECT_EQ(pool.resident_pages(), 10u);
+}
+
+TEST(BufferPoolTest, ResetCountersKeepsContents) {
+  BufferPool pool(4);
+  pool.Access(7, false);
+  pool.ResetCounters();
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_TRUE(pool.Access(7, false));
+}
+
+TEST(BufferPoolTest, ZeroCapacityClampedToOne) {
+  BufferPool pool(0);
+  EXPECT_EQ(pool.capacity(), 1u);
+  pool.Access(1, false);
+  EXPECT_EQ(pool.resident_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace hunter::cdb

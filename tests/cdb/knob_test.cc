@@ -1,0 +1,147 @@
+#include "cdb/knob.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cdb/knob_catalog.h"
+
+namespace hunter::cdb {
+namespace {
+
+TEST(KnobCatalogTest, MySqlHas65Knobs) {
+  const KnobCatalog catalog = MySqlCatalog();
+  EXPECT_EQ(catalog.size(), 65u);
+  EXPECT_EQ(catalog.dbms_name(), "mysql");
+}
+
+TEST(KnobCatalogTest, PostgresHas65Knobs) {
+  const KnobCatalog catalog = PostgresCatalog();
+  EXPECT_EQ(catalog.size(), 65u);
+  EXPECT_EQ(catalog.dbms_name(), "postgresql");
+}
+
+TEST(KnobCatalogTest, NamesAreUniqueAndIndexed) {
+  for (const KnobCatalog& catalog : {MySqlCatalog(), PostgresCatalog()}) {
+    for (size_t i = 0; i < catalog.size(); ++i) {
+      EXPECT_EQ(catalog.IndexOf(catalog.knob(i).name), static_cast<int>(i))
+          << catalog.dbms_name() << " knob " << catalog.knob(i).name;
+    }
+  }
+}
+
+TEST(KnobCatalogTest, UnknownNameReturnsMinusOne) {
+  EXPECT_EQ(MySqlCatalog().IndexOf("no_such_knob"), -1);
+}
+
+TEST(KnobCatalogTest, AllCoreRolesPresentInBothCatalogs) {
+  const KnobRole roles[] = {
+      KnobRole::kBufferPoolSize, KnobRole::kFlushPolicy,
+      KnobRole::kLogFileSize,    KnobRole::kIoCapacity,
+      KnobRole::kMaxConnections, KnobRole::kThreadConcurrency,
+      KnobRole::kLockWaitTimeout};
+  for (const KnobCatalog& catalog : {MySqlCatalog(), PostgresCatalog()}) {
+    for (KnobRole role : roles) {
+      EXPECT_GE(catalog.IndexOfRole(role), 0)
+          << catalog.dbms_name() << " missing role "
+          << static_cast<int>(role);
+    }
+  }
+}
+
+TEST(KnobCatalogTest, DefaultsAreWithinRange) {
+  for (const KnobCatalog& catalog : {MySqlCatalog(), PostgresCatalog()}) {
+    const Configuration defaults = catalog.DefaultConfiguration();
+    for (size_t i = 0; i < catalog.size(); ++i) {
+      const KnobDef& def = catalog.knob(i);
+      EXPECT_GE(defaults[i], def.min_value) << def.name;
+      EXPECT_LE(defaults[i], def.max_value) << def.name;
+    }
+  }
+}
+
+TEST(KnobCatalogTest, NormalizeDenormalizeRoundTrip) {
+  const KnobCatalog catalog = MySqlCatalog();
+  const Configuration defaults = catalog.DefaultConfiguration();
+  const std::vector<double> normalized =
+      catalog.NormalizeConfiguration(defaults);
+  const Configuration recovered =
+      catalog.DenormalizeConfiguration(normalized);
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_NEAR(recovered[i], defaults[i],
+                1e-6 * std::max(1.0, std::abs(defaults[i])))
+        << catalog.knob(i).name;
+  }
+}
+
+TEST(KnobCatalogTest, NormalizedValuesInUnitInterval) {
+  const KnobCatalog catalog = PostgresCatalog();
+  const std::vector<double> normalized =
+      catalog.NormalizeConfiguration(catalog.DefaultConfiguration());
+  for (double v : normalized) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(KnobCatalogTest, DenormalizeSnapsIntegers) {
+  const KnobCatalog catalog = MySqlCatalog();
+  const int bp = catalog.IndexOf("innodb_buffer_pool_size");
+  ASSERT_GE(bp, 0);
+  const double raw = catalog.Denormalize(static_cast<size_t>(bp), 0.5);
+  EXPECT_DOUBLE_EQ(raw, std::round(raw));
+}
+
+TEST(KnobCatalogTest, DenormalizeExtremesHitBounds) {
+  const KnobCatalog catalog = MySqlCatalog();
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_DOUBLE_EQ(catalog.Denormalize(i, 0.0), catalog.knob(i).min_value);
+    EXPECT_NEAR(catalog.Denormalize(i, 1.0), catalog.knob(i).max_value,
+                1e-6 * std::max(1.0, std::abs(catalog.knob(i).max_value)));
+  }
+}
+
+TEST(KnobCatalogTest, LogScaleSpreadsSmallValues) {
+  const KnobCatalog catalog = MySqlCatalog();
+  const size_t bp =
+      static_cast<size_t>(catalog.IndexOf("innodb_buffer_pool_size"));
+  // In log space, 1 GB out of [128 MB, 48 GB] should normalize well above
+  // the linear position (~0.018).
+  const double norm = catalog.Normalize(bp, 1024.0);
+  EXPECT_GT(norm, 0.2);
+  EXPECT_LT(norm, 0.7);
+}
+
+TEST(KnobCatalogTest, SnapClampsOutOfRange) {
+  const KnobCatalog catalog = MySqlCatalog();
+  const size_t bp =
+      static_cast<size_t>(catalog.IndexOf("innodb_buffer_pool_size"));
+  EXPECT_DOUBLE_EQ(catalog.Snap(bp, -5.0), 128.0);
+  EXPECT_DOUBLE_EQ(catalog.Snap(bp, 1e9), 49152.0);
+}
+
+TEST(KnobCatalogTest, EnumKnobsHaveMatchingRange) {
+  for (const KnobCatalog& catalog : {MySqlCatalog(), PostgresCatalog()}) {
+    for (size_t i = 0; i < catalog.size(); ++i) {
+      const KnobDef& def = catalog.knob(i);
+      if (def.type == KnobType::kEnum) {
+        EXPECT_EQ(def.max_value,
+                  static_cast<double>(def.enum_values.size()) - 1)
+            << def.name;
+      }
+    }
+  }
+}
+
+TEST(KnobCatalogTest, StaticKnobsExist) {
+  // The availability story needs some knobs to require restarts.
+  const KnobCatalog catalog = MySqlCatalog();
+  int static_knobs = 0;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (!catalog.knob(i).dynamic) ++static_knobs;
+  }
+  EXPECT_GE(static_knobs, 5);
+}
+
+}  // namespace
+}  // namespace hunter::cdb

@@ -1,0 +1,81 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hunter::common {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(StatsTest, VarianceOfKnownValues) {
+  // Population variance of {2,4,4,4,5,5,7,9} is 4.
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.5);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  std::vector<double> v = {30, 10, 40, 20};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+}
+
+TEST(StatsTest, PercentileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 95), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {2, 3, 4}), 0.0);
+}
+
+TEST(RunningStatTest, MatchesBatchStatistics) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStat rs;
+  for (double x : v) rs.Add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance uses n-1: 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleValueHasZeroVariance) {
+  RunningStat rs;
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace hunter::common

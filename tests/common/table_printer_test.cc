@@ -1,0 +1,44 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hunter::common {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| x |   |   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter table({"h"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"r"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace hunter::common

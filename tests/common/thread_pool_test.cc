@@ -1,0 +1,52 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hunter::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsValues) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 285);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor must finish all queued work before joining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace hunter::common

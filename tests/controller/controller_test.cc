@@ -1,0 +1,184 @@
+#include "controller/controller.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cdb/knob_catalog.h"
+#include "controller/shared_pool.h"
+#include "workload/workloads.h"
+
+namespace hunter::controller {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : catalog_(cdb::MySqlCatalog()) {}
+
+  std::unique_ptr<Controller> Make(int clones) {
+    auto instance = std::make_unique<cdb::CdbInstance>(
+        &catalog_, cdb::MySqlEvaluationInstance(), cdb::MySqlEngineTuning(),
+        42);
+    ControllerOptions options;
+    options.num_clones = clones;
+    options.seed = 42;
+    options.concurrent_actors = false;
+    return std::make_unique<Controller>(std::move(instance),
+                                        workload::Tpcc(), options);
+  }
+
+  std::vector<double> DefaultNormalized() {
+    return catalog_.NormalizeConfiguration(catalog_.DefaultConfiguration());
+  }
+
+  cdb::KnobCatalog catalog_;
+};
+
+TEST_F(ControllerTest, DefaultPerformanceIsPositiveAndCached) {
+  auto controller = Make(1);
+  const auto& first = controller->DefaultPerformance();
+  EXPECT_GT(first.throughput_tps, 0.0);
+  const double clock_after_first = controller->clock().seconds();
+  controller->DefaultPerformance();  // cached, no extra time
+  EXPECT_DOUBLE_EQ(controller->clock().seconds(), clock_after_first);
+}
+
+TEST_F(ControllerTest, EvaluateBatchReturnsOneSamplePerConfig) {
+  auto controller = Make(2);
+  const auto samples = controller->EvaluateBatch(
+      {DefaultNormalized(), DefaultNormalized(), DefaultNormalized()});
+  ASSERT_EQ(samples.size(), 3u);
+  for (const auto& sample : samples) {
+    EXPECT_FALSE(sample.boot_failed);
+    EXPECT_EQ(sample.metrics.size(), cdb::kNumMetrics);
+    EXPECT_EQ(sample.knobs.size(), catalog_.size());
+  }
+}
+
+TEST_F(ControllerTest, DefaultConfigHasNearZeroFitness) {
+  auto controller = Make(1);
+  const auto samples = controller->EvaluateBatch({DefaultNormalized()});
+  EXPECT_NEAR(samples[0].fitness, 0.0, 0.25);
+}
+
+TEST_F(ControllerTest, ParallelCloneChargesOneRoundOfTime) {
+  auto c1 = Make(1);
+  auto c4 = Make(4);
+  c1->DefaultPerformance();
+  c4->DefaultPerformance();
+  const double t1_start = c1->clock().seconds();
+  const double t4_start = c4->clock().seconds();
+  std::vector<std::vector<double>> batch(4, DefaultNormalized());
+  c1->EvaluateBatch(batch);
+  c4->EvaluateBatch(batch);
+  const double t1 = c1->clock().seconds() - t1_start;
+  const double t4 = c4->clock().seconds() - t4_start;
+  // 4 configs on 1 clone = 4 rounds; on 4 clones = 1 round.
+  EXPECT_NEAR(t1 / t4, 4.0, 0.5);
+}
+
+TEST_F(ControllerTest, BootFailureChargesDeployOnly) {
+  auto controller = Make(1);
+  controller->DefaultPerformance();
+  std::vector<double> bad = DefaultNormalized();
+  bad[static_cast<size_t>(catalog_.IndexOf("innodb_buffer_pool_size"))] = 1.0;
+  bad[static_cast<size_t>(catalog_.IndexOf("max_connections"))] = 1.0;
+  const double before = controller->clock().seconds();
+  const auto samples = controller->EvaluateBatch({bad});
+  EXPECT_TRUE(samples[0].boot_failed);
+  EXPECT_DOUBLE_EQ(samples[0].throughput_tps, -1000.0);
+  // No workload execution happened: just the failed deployment attempt.
+  EXPECT_LT(controller->clock().seconds() - before, 30.0);
+}
+
+TEST_F(ControllerTest, ChargeModelTimeAdvancesClock) {
+  auto controller = Make(1);
+  const double before = controller->clock().seconds();
+  controller->ChargeModelTime(0.071);
+  EXPECT_DOUBLE_EQ(controller->clock().seconds(), before + 0.071);
+}
+
+TEST_F(ControllerTest, DeployToUserUpdatesUserInstance) {
+  auto controller = Make(1);
+  std::vector<double> tuned = DefaultNormalized();
+  tuned[static_cast<size_t>(catalog_.IndexOf("innodb_io_capacity"))] = 0.8;
+  controller->DeployToUser(tuned);
+  const auto& config = controller->user_instance().active_configuration();
+  const size_t io_cap =
+      static_cast<size_t>(catalog_.IndexOf("innodb_io_capacity"));
+  EXPECT_GT(config[io_cap], 200.0);  // moved off the default
+}
+
+TEST_F(ControllerTest, WorkloadDriftRemeasuresBaseline) {
+  auto controller = Make(1);
+  const double t_before = controller->DefaultPerformance().throughput_tps;
+  controller->SetWorkload(workload::SysbenchWriteOnly());
+  const double t_after = controller->DefaultPerformance().throughput_tps;
+  EXPECT_EQ(controller->workload().name, "sysbench_wo");
+  // Baselines differ across workloads (almost surely).
+  EXPECT_NE(t_before, t_after);
+}
+
+TEST_F(ControllerTest, TracksStressTestCount) {
+  auto controller = Make(2);
+  controller->EvaluateBatch({DefaultNormalized(), DefaultNormalized()});
+  EXPECT_EQ(controller->total_stress_tests(), 2u);
+}
+
+TEST_F(ControllerTest, ConcurrentActorsMatchSerialSemantics) {
+  auto instance = std::make_unique<cdb::CdbInstance>(
+      &catalog_, cdb::MySqlEvaluationInstance(), cdb::MySqlEngineTuning(), 42);
+  ControllerOptions options;
+  options.num_clones = 4;
+  options.seed = 42;
+  options.concurrent_actors = true;
+  Controller controller(std::move(instance), workload::Tpcc(), options);
+  const auto samples = controller.EvaluateBatch(
+      std::vector<std::vector<double>>(8, DefaultNormalized()));
+  ASSERT_EQ(samples.size(), 8u);
+  for (const auto& sample : samples) EXPECT_GT(sample.throughput_tps, 0.0);
+}
+
+TEST(SharedPoolTest, AddAndSnapshot) {
+  SharedPool pool;
+  Sample sample;
+  sample.fitness = 0.5;
+  pool.Add(sample);
+  pool.AddBatch({sample, sample});
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.Snapshot().size(), 3u);
+}
+
+TEST(SharedPoolTest, BestSkipsBootFailures) {
+  SharedPool pool;
+  Sample failed;
+  failed.fitness = 10.0;  // better fitness but failed
+  failed.boot_failed = true;
+  Sample ok;
+  ok.fitness = 0.3;
+  pool.Add(failed);
+  pool.Add(ok);
+  Sample best;
+  ASSERT_TRUE(pool.Best(&best));
+  EXPECT_DOUBLE_EQ(best.fitness, 0.3);
+}
+
+TEST(SharedPoolTest, BestOfEmptyPoolIsFalse) {
+  SharedPool pool;
+  Sample best;
+  EXPECT_FALSE(pool.Best(&best));
+  Sample failed;
+  failed.boot_failed = true;
+  pool.Add(failed);
+  EXPECT_FALSE(pool.Best(&best));
+}
+
+TEST(SharedPoolTest, ClearEmptiesPool) {
+  SharedPool pool;
+  pool.Add(Sample{});
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hunter::controller

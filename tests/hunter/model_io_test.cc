@@ -1,0 +1,110 @@
+#include "hunter/model_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cdb/knob_catalog.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace hunter::core {
+namespace {
+
+HunterModel MakeModel(bool with_pca) {
+  HunterModel model;
+  model.space.state_dim = with_pca ? 5 : 63;
+  model.space.use_pca = with_pca;
+  model.space.selected_knobs = {3, 1, 41, 7};
+  model.space.knob_importance.assign(65, 0.01);
+  model.space.knob_importance[3] = 0.4;
+  if (with_pca) {
+    common::Rng rng(1);
+    linalg::Matrix data(40, 8);
+    for (size_t r = 0; r < 40; ++r) {
+      for (size_t c = 0; c < 8; ++c) data.At(r, c) = rng.Gaussian();
+    }
+    model.space.pca.Fit(data);
+  }
+  model.ddpg_parameters = {0.5, -1.25, 3.75, 0.0009765625};
+  model.base_config.assign(65, 0.25);
+  model.signature = model.space.Signature();
+  return model;
+}
+
+TEST(ModelIoTest, RoundTripWithoutPca) {
+  const HunterModel original = MakeModel(false);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream));
+  HunterModel loaded;
+  ASSERT_TRUE(LoadModel(stream, &loaded));
+  EXPECT_EQ(loaded.space.state_dim, original.space.state_dim);
+  EXPECT_EQ(loaded.space.use_pca, original.space.use_pca);
+  EXPECT_EQ(loaded.space.selected_knobs, original.space.selected_knobs);
+  EXPECT_EQ(loaded.space.knob_importance, original.space.knob_importance);
+  EXPECT_EQ(loaded.ddpg_parameters, original.ddpg_parameters);
+  EXPECT_EQ(loaded.base_config, original.base_config);
+  EXPECT_EQ(loaded.signature, original.signature);
+}
+
+TEST(ModelIoTest, RoundTripWithPcaPreservesTransform) {
+  const HunterModel original = MakeModel(true);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream));
+  HunterModel loaded;
+  ASSERT_TRUE(LoadModel(stream, &loaded));
+  ASSERT_TRUE(loaded.space.pca.fitted());
+  // The restored transform must project identically.
+  const std::vector<double> point = {0.1, -0.3, 0.7, 1.1, -0.5, 0.0, 2.0,
+                                     -1.0};
+  const auto a = original.space.pca.Transform(point, 4);
+  const auto b = loaded.space.pca.Transform(point, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const HunterModel original = MakeModel(true);
+  const std::string path = ::testing::TempDir() + "/hunter_model_test.txt";
+  ASSERT_TRUE(SaveModelToFile(original, path));
+  HunterModel loaded;
+  ASSERT_TRUE(LoadModelFromFile(path, &loaded));
+  EXPECT_EQ(loaded.signature, original.signature);
+  EXPECT_EQ(loaded.ddpg_parameters, original.ddpg_parameters);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsWrongMagic) {
+  std::stringstream stream("NOT_A_MODEL 1 2 3");
+  HunterModel model;
+  EXPECT_FALSE(LoadModel(stream, &model));
+}
+
+TEST(ModelIoTest, RejectsTruncatedStream) {
+  const HunterModel original = MakeModel(false);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream));
+  const std::string text = stream.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  HunterModel model;
+  EXPECT_FALSE(LoadModel(truncated, &model));
+}
+
+TEST(ModelIoTest, MissingFileFails) {
+  HunterModel model;
+  EXPECT_FALSE(LoadModelFromFile("/no/such/dir/model.txt", &model));
+}
+
+TEST(ModelIoTest, EmptySignatureRoundTrips) {
+  HunterModel model = MakeModel(false);
+  model.signature.clear();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(model, stream));
+  HunterModel loaded;
+  ASSERT_TRUE(LoadModel(stream, &loaded));
+  EXPECT_TRUE(loaded.signature.empty());
+}
+
+}  // namespace
+}  // namespace hunter::core

@@ -1,0 +1,114 @@
+#include "hunter/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "cdb/knob_catalog.h"
+
+namespace hunter::core {
+namespace {
+
+class RulesTest : public ::testing::Test {
+ protected:
+  RulesTest() : catalog_(cdb::MySqlCatalog()) {}
+
+  std::vector<double> Half() const {
+    return std::vector<double>(catalog_.size(), 0.5);
+  }
+
+  double Raw(const std::vector<double>& normalized, const char* name) const {
+    const size_t i = static_cast<size_t>(catalog_.IndexOf(name));
+    return catalog_.Denormalize(i, normalized[i]);
+  }
+
+  cdb::KnobCatalog catalog_;
+};
+
+TEST_F(RulesTest, EmptyRulesAreIdentity) {
+  Rules rules;
+  EXPECT_EQ(rules.Apply(catalog_, Half()), Half());
+  EXPECT_EQ(rules.TunableKnobs(catalog_).size(), catalog_.size());
+}
+
+TEST_F(RulesTest, FixKnobPinsValue) {
+  Rules rules;
+  // The paper's example: innodb_adaptive_hash_index = OFF.
+  rules.FixKnob("innodb_adaptive_hash_index", 0);
+  const auto applied = rules.Apply(catalog_, Half());
+  EXPECT_DOUBLE_EQ(Raw(applied, "innodb_adaptive_hash_index"), 0.0);
+}
+
+TEST_F(RulesTest, FixedKnobNotTunable) {
+  Rules rules;
+  rules.FixKnob("innodb_buffer_pool_size", 4096);
+  const size_t bp =
+      static_cast<size_t>(catalog_.IndexOf("innodb_buffer_pool_size"));
+  EXPECT_FALSE(rules.IsTunable(catalog_, bp));
+  EXPECT_EQ(rules.TunableKnobs(catalog_).size(), catalog_.size() - 1);
+}
+
+TEST_F(RulesTest, RangeRestrictionClamps) {
+  Rules rules;
+  rules.RestrictRange("innodb_buffer_pool_size", 1024, 8192);
+  auto low = Half();
+  low[static_cast<size_t>(catalog_.IndexOf("innodb_buffer_pool_size"))] = 0.0;
+  auto high = Half();
+  high[static_cast<size_t>(catalog_.IndexOf("innodb_buffer_pool_size"))] = 1.0;
+  EXPECT_GE(Raw(rules.Apply(catalog_, low), "innodb_buffer_pool_size"),
+            1023.0);
+  EXPECT_LE(Raw(rules.Apply(catalog_, high), "innodb_buffer_pool_size"),
+            8193.0);
+}
+
+TEST_F(RulesTest, ConditionalFiresOnlyAboveThreshold) {
+  Rules rules;
+  // The paper's example: thread pooling if connections > 100 (we map it to
+  // capping thread_concurrency when max_connections is large).
+  rules.AddConditional("max_connections", 1000, "innodb_thread_concurrency",
+                       64);
+  auto low_conn = Half();
+  const size_t conn =
+      static_cast<size_t>(catalog_.IndexOf("max_connections"));
+  low_conn[conn] = catalog_.Normalize(conn, 150);
+  const auto low_applied = rules.Apply(catalog_, low_conn);
+  EXPECT_NE(Raw(low_applied, "innodb_thread_concurrency"), 64.0);
+
+  auto high_conn = Half();
+  high_conn[conn] = catalog_.Normalize(conn, 5000);
+  const auto high_applied = rules.Apply(catalog_, high_conn);
+  EXPECT_DOUBLE_EQ(Raw(high_applied, "innodb_thread_concurrency"), 64.0);
+}
+
+TEST_F(RulesTest, AlphaDefaultsToHalf) {
+  Rules rules;
+  EXPECT_DOUBLE_EQ(rules.alpha(), 0.5);
+  rules.set_alpha(0.9);
+  EXPECT_DOUBLE_EQ(rules.alpha(), 0.9);
+}
+
+TEST_F(RulesTest, UnknownKnobNamesIgnored) {
+  Rules rules;
+  rules.FixKnob("not_a_knob", 1);
+  rules.RestrictRange("also_missing", 0, 1);
+  rules.AddConditional("missing", 1, "gone", 2);
+  EXPECT_EQ(rules.Apply(catalog_, Half()), Half());
+}
+
+TEST_F(RulesTest, FixedBeatsRange) {
+  Rules rules;
+  rules.RestrictRange("innodb_io_capacity", 100, 200);
+  rules.FixKnob("innodb_io_capacity", 5000);
+  const auto applied = rules.Apply(catalog_, Half());
+  EXPECT_DOUBLE_EQ(Raw(applied, "innodb_io_capacity"), 5000.0);
+}
+
+TEST_F(RulesTest, CountsConstraints) {
+  Rules rules;
+  EXPECT_EQ(rules.num_constraints(), 0u);
+  rules.FixKnob("sync_binlog", 0);
+  rules.RestrictRange("innodb_io_capacity", 100, 200);
+  rules.AddConditional("max_connections", 100, "thread_cache_size", 100);
+  EXPECT_EQ(rules.num_constraints(), 3u);
+}
+
+}  // namespace
+}  // namespace hunter::core

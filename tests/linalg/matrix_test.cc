@@ -1,0 +1,174 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hunter::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 0.0);
+  m.At(1, 2) = 4.5;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 4.5);
+}
+
+TEST(MatrixTest, FromNestedVectors) {
+  Matrix m({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 6.0);
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNeutral) {
+  Matrix m({{1, 2}, {3, 4}});
+  Matrix result = m.Multiply(Matrix::Identity(2));
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(result.At(r, c), m.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a({{1, 2, 3}, {4, 5, 6}});
+  Matrix b({{7, 8}, {9, 10}, {11, 12}});
+  Matrix p = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(p.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+  Matrix tt = t.Transpose();
+  EXPECT_EQ(tt.Row(0), a.Row(0));
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a({{1, 2}, {3, 4}});
+  const std::vector<double> v = a.MultiplyVector({1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{4, 3}, {2, 1}});
+  EXPECT_DOUBLE_EQ(a.Add(b).At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.Subtract(b).At(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.Scale(2.0).At(1, 0), 6.0);
+}
+
+TEST(StatsHelpersTest, ColumnMeansAndStdDevs) {
+  Matrix data({{1, 10}, {3, 10}, {5, 10}});
+  const auto means = ColumnMeans(data);
+  EXPECT_DOUBLE_EQ(means[0], 3.0);
+  EXPECT_DOUBLE_EQ(means[1], 10.0);
+  const auto stds = ColumnStdDevs(data);
+  EXPECT_NEAR(stds[0], std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stds[1], 0.0);
+}
+
+TEST(StatsHelpersTest, StandardizeCentersColumns) {
+  Matrix data({{1, 5}, {3, 5}});
+  Matrix z = Standardize(data, true);
+  EXPECT_DOUBLE_EQ(z.At(0, 0) + z.At(1, 0), 0.0);
+  // Zero-variance column stays centered at 0, not divided.
+  EXPECT_DOUBLE_EQ(z.At(0, 1), 0.0);
+}
+
+TEST(StatsHelpersTest, CovarianceOfIndependentColumns) {
+  Matrix data({{1, 4}, {2, 5}, {3, 6}});
+  Matrix cov = Covariance(data);
+  // Both columns have sample variance 1 and are perfectly correlated.
+  EXPECT_NEAR(cov.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov.At(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(cov.At(0, 1), 1.0, 1e-12);
+}
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  Matrix d({{3, 0}, {0, 1}});
+  EigenResult eig = SymmetricEigen(d);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix m({{2, 1}, {1, 2}});
+  EigenResult eig = SymmetricEigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector for eigenvalue 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = eig.eigenvectors.At(0, 0);
+  const double v1 = eig.eigenvectors.At(1, 0);
+  EXPECT_NEAR(std::abs(v0), std::numbers::sqrt2 / 2.0, 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  Matrix m({{4, 1, 0}, {1, 3, 1}, {0, 1, 2}});
+  EigenResult eig = SymmetricEigen(m);
+  // Reconstruct A = V diag(L) V^T.
+  Matrix diag(3, 3);
+  for (size_t i = 0; i < 3; ++i) diag.At(i, i) = eig.eigenvalues[i];
+  Matrix rec = eig.eigenvectors.Multiply(diag).Multiply(
+      eig.eigenvectors.Transpose());
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(rec.At(r, c), m.At(r, c), 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, EigenvectorsAreOrthonormal) {
+  Matrix m({{5, 2, 1}, {2, 4, 2}, {1, 2, 3}});
+  EigenResult eig = SymmetricEigen(m);
+  Matrix vtv = eig.eigenvectors.Transpose().Multiply(eig.eigenvectors);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(vtv.At(r, c), r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  Matrix a({{4, 2}, {2, 3}});
+  Matrix lower;
+  ASSERT_TRUE(Cholesky(a, &lower));
+  EXPECT_NEAR(lower.At(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(lower.At(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(lower.At(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(lower.At(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a({{1, 2}, {2, 1}});  // eigenvalues 3 and -1
+  Matrix lower;
+  EXPECT_FALSE(Cholesky(a, &lower));
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Matrix a({{6, 2, 1}, {2, 5, 2}, {1, 2, 4}});
+  const std::vector<double> x_true = {1.0, -2.0, 3.0};
+  const std::vector<double> b = a.MultiplyVector(x_true);
+  Matrix lower;
+  ASSERT_TRUE(Cholesky(a, &lower));
+  const std::vector<double> x = CholeskySolve(lower, b);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace hunter::linalg

@@ -1,0 +1,101 @@
+#include "ml/gaussian_process.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace hunter::ml {
+namespace {
+
+TEST(GpTest, InterpolatesTrainingPoints) {
+  linalg::Matrix x({{0.1}, {0.5}, {0.9}});
+  std::vector<double> y = {1.0, 3.0, 2.0};
+  GpOptions options;
+  options.length_scale = 0.2;
+  options.noise_variance = 1e-6;
+  GaussianProcess gp(options);
+  ASSERT_TRUE(gp.Fit(x, y));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(gp.Predict(x.Row(i)).mean, y[i], 0.1);
+  }
+}
+
+TEST(GpTest, VarianceSmallNearDataLargeFar) {
+  linalg::Matrix x({{0.4}, {0.5}, {0.6}});
+  std::vector<double> y = {1.0, 1.1, 0.9};
+  GpOptions options;
+  options.length_scale = 0.1;
+  GaussianProcess gp(options);
+  ASSERT_TRUE(gp.Fit(x, y));
+  const double near = gp.Predict({0.5}).variance;
+  const double far = gp.Predict({0.0}).variance;
+  EXPECT_LT(near, far);
+  EXPECT_GT(far, 0.5);  // far points revert toward prior variance 1.0
+}
+
+TEST(GpTest, UnfittedPredictsPrior) {
+  GaussianProcess gp;
+  const auto p = gp.Predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 1.0);
+}
+
+TEST(GpTest, MeanRevertsToDataMeanFarAway) {
+  linalg::Matrix x({{0.45}, {0.5}, {0.55}});
+  std::vector<double> y = {10.0, 12.0, 11.0};
+  GpOptions options;
+  options.length_scale = 0.05;
+  GaussianProcess gp(options);
+  ASSERT_TRUE(gp.Fit(x, y));
+  EXPECT_NEAR(gp.Predict({0.0}).mean, 11.0, 0.5);
+}
+
+TEST(GpTest, ExpectedImprovementPositiveWhereUncertain) {
+  linalg::Matrix x(std::vector<std::vector<double>>{{0.2}, {0.3}});
+  std::vector<double> y = {1.0, 1.2};
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y));
+  const double ei_far = gp.ExpectedImprovement({0.9}, 1.2);
+  EXPECT_GT(ei_far, 0.0);
+}
+
+TEST(GpTest, ExpectedImprovementNearZeroAtDominatedKnownPoint) {
+  linalg::Matrix x(std::vector<std::vector<double>>{{0.2}, {0.8}});
+  std::vector<double> y = {0.0, 2.0};
+  GpOptions options;
+  options.length_scale = 0.1;
+  options.noise_variance = 1e-6;
+  GaussianProcess gp(options);
+  ASSERT_TRUE(gp.Fit(x, y));
+  // At the known bad point, EI over best=2.0 should be tiny.
+  EXPECT_LT(gp.ExpectedImprovement({0.2}, 2.0), 0.05);
+  EXPECT_GT(gp.ExpectedImprovement({0.5}, 2.0),
+            gp.ExpectedImprovement({0.2}, 2.0));
+}
+
+TEST(GpTest, FitsMultiDimensionalFunction) {
+  common::Rng rng(1);
+  const size_t n = 60;
+  linalg::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Uniform();
+    x.At(i, 1) = rng.Uniform();
+    y[i] = std::sin(3 * x.At(i, 0)) + x.At(i, 1);
+  }
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y));
+  double total_err = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> q = {rng.Uniform(), rng.Uniform()};
+    total_err += std::abs(gp.Predict(q).mean - (std::sin(3 * q[0]) + q[1]));
+  }
+  EXPECT_LT(total_err / 20.0, 0.15);
+}
+
+}  // namespace
+}  // namespace hunter::ml

@@ -1,0 +1,130 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace hunter::ml {
+namespace {
+
+// Builds a dataset where `dim` observed columns are linear mixtures of
+// `latent` independent factors (plus small noise), mimicking how the 63 CDB
+// metrics derive from a handful of internal engine quantities.
+linalg::Matrix LatentMixture(size_t n, size_t dim, size_t latent,
+                             double noise, common::Rng* rng) {
+  linalg::Matrix mixing(latent, dim);
+  for (size_t l = 0; l < latent; ++l) {
+    for (size_t d = 0; d < dim; ++d) mixing.At(l, d) = rng->Gaussian();
+  }
+  linalg::Matrix data(n, dim);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<double> factors(latent);
+    for (size_t l = 0; l < latent; ++l) factors[l] = rng->Gaussian();
+    for (size_t d = 0; d < dim; ++d) {
+      double value = 0.0;
+      for (size_t l = 0; l < latent; ++l) value += factors[l] * mixing.At(l, d);
+      data.At(r, d) = value + noise * rng->Gaussian();
+    }
+  }
+  return data;
+}
+
+TEST(PcaTest, ExplainedVarianceSumsToOne) {
+  common::Rng rng(1);
+  Pca pca;
+  pca.Fit(LatentMixture(200, 10, 3, 0.1, &rng));
+  double total = 0.0;
+  for (double r : pca.explained_variance_ratio()) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PcaTest, RatiosAreDescending) {
+  common::Rng rng(2);
+  Pca pca;
+  pca.Fit(LatentMixture(200, 12, 4, 0.1, &rng));
+  const auto& ratios = pca.explained_variance_ratio();
+  for (size_t i = 1; i < ratios.size(); ++i) {
+    EXPECT_LE(ratios[i], ratios[i - 1] + 1e-12);
+  }
+}
+
+TEST(PcaTest, LatentDimensionRecovered) {
+  common::Rng rng(3);
+  Pca pca;
+  // 30 metrics driven by 5 latent factors: ~5 components should explain 90%.
+  pca.Fit(LatentMixture(400, 30, 5, 0.05, &rng));
+  const size_t k = pca.ComponentsForVariance(0.90);
+  EXPECT_LE(k, 7u);
+  EXPECT_GE(k, 4u);
+}
+
+TEST(PcaTest, CumulativeRatioMonotone) {
+  common::Rng rng(4);
+  Pca pca;
+  pca.Fit(LatentMixture(100, 8, 3, 0.2, &rng));
+  const auto cdf = pca.CumulativeVarianceRatio();
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-9);
+}
+
+TEST(PcaTest, TransformReducesDimension) {
+  common::Rng rng(5);
+  Pca pca;
+  linalg::Matrix data = LatentMixture(100, 10, 3, 0.1, &rng);
+  pca.Fit(data);
+  const auto projected = pca.Transform(data.Row(0), 4);
+  EXPECT_EQ(projected.size(), 4u);
+  linalg::Matrix all = pca.TransformMatrix(data, 4);
+  EXPECT_EQ(all.rows(), 100u);
+  EXPECT_EQ(all.cols(), 4u);
+}
+
+TEST(PcaTest, ComponentsAreUncorrelated) {
+  common::Rng rng(6);
+  Pca pca;
+  linalg::Matrix data = LatentMixture(300, 10, 4, 0.1, &rng);
+  pca.Fit(data);
+  linalg::Matrix z = pca.TransformMatrix(data, 3);
+  linalg::Matrix cov = linalg::Covariance(z);
+  EXPECT_NEAR(cov.At(0, 1), 0.0, 1e-6);
+  EXPECT_NEAR(cov.At(0, 2), 0.0, 1e-6);
+  EXPECT_NEAR(cov.At(1, 2), 0.0, 1e-6);
+}
+
+TEST(PcaTest, FirstComponentCapturesDominantDirection) {
+  // Two columns, second = 3x first: one component should capture ~everything.
+  common::Rng rng(7);
+  linalg::Matrix data(100, 2);
+  for (size_t r = 0; r < 100; ++r) {
+    const double v = rng.Gaussian();
+    data.At(r, 0) = v;
+    data.At(r, 1) = 3.0 * v;
+  }
+  Pca pca;
+  pca.Fit(data);
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.999);
+  EXPECT_EQ(pca.ComponentsForVariance(0.9), 1u);
+}
+
+TEST(PcaTest, StandardizationHandlesScaleDifferences) {
+  // Without standardization a huge-scale noise column dominates; with it,
+  // the correlated structure should dominate component 1.
+  common::Rng rng(8);
+  linalg::Matrix data(200, 3);
+  for (size_t r = 0; r < 200; ++r) {
+    const double shared = rng.Gaussian();
+    data.At(r, 0) = shared;
+    data.At(r, 1) = shared + 0.01 * rng.Gaussian();
+    data.At(r, 2) = 1e6 * rng.Gaussian();  // independent, huge units
+  }
+  Pca pca;
+  pca.Fit(data, /*standardize=*/true);
+  // Shared factor spans 2 of 3 standardized columns -> ~2/3 of variance.
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.6);
+}
+
+}  // namespace
+}  // namespace hunter::ml

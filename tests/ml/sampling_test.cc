@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/her.h"
+#include "ml/latin_hypercube.h"
+#include "ml/ou_noise.h"
+
+namespace hunter::ml {
+namespace {
+
+TEST(LatinHypercubeTest, ShapeAndRange) {
+  common::Rng rng(1);
+  const auto samples = LatinHypercube(20, 5, &rng);
+  EXPECT_EQ(samples.size(), 20u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.size(), 5u);
+    for (double v : s) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(LatinHypercubeTest, OneSamplePerStratum) {
+  common::Rng rng(2);
+  const size_t n = 16;
+  const auto samples = LatinHypercube(n, 3, &rng);
+  for (size_t d = 0; d < 3; ++d) {
+    std::set<size_t> strata;
+    for (const auto& s : samples) {
+      strata.insert(static_cast<size_t>(s[d] * static_cast<double>(n)));
+    }
+    EXPECT_EQ(strata.size(), n);  // every stratum hit exactly once
+  }
+}
+
+TEST(LatinHypercubeTest, ZeroSamplesIsEmpty) {
+  common::Rng rng(3);
+  EXPECT_TRUE(LatinHypercube(0, 4, &rng).empty());
+}
+
+TEST(OuNoiseTest, MeanRevertsTowardMu) {
+  common::Rng rng(4);
+  OuNoise noise(1, /*theta=*/0.5, /*sigma=*/0.0, /*mu=*/0.0);
+  // With sigma 0, the process decays exponentially from any excursion.
+  // Start it by sampling once with sigma then turning sigma off.
+  OuNoise noisy(1, 0.15, 1.0, 0.0);
+  double x = 0.0;
+  for (int i = 0; i < 5; ++i) x = noisy.Sample(&rng)[0];
+  (void)x;
+  noise.Sample(&rng);
+  EXPECT_DOUBLE_EQ(noise.Sample(&rng)[0], 0.0);
+}
+
+TEST(OuNoiseTest, StationaryVarianceBounded) {
+  common::Rng rng(5);
+  OuNoise noise(1, 0.15, 0.2, 0.0);
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = noise.Sample(&rng)[0];
+    sum_sq += v * v;
+  }
+  // OU stationary variance approx sigma^2/(2 theta) = 0.133.
+  EXPECT_NEAR(sum_sq / n, 0.2 * 0.2 / (2 * 0.15), 0.05);
+}
+
+TEST(OuNoiseTest, ResetReturnsToMu) {
+  common::Rng rng(6);
+  OuNoise noise(3, 0.15, 0.5, 0.0);
+  noise.Sample(&rng);
+  noise.Reset();
+  OuNoise fresh(3, 0.15, 0.5, 0.0);
+  common::Rng rng2(6);
+  // After reset the next sample distribution matches a fresh process fed the
+  // same random stream only if states are equal; check states via sigma=0.
+  noise.set_sigma(0.0);
+  fresh.set_sigma(0.0);
+  common::Rng dummy(1);
+  EXPECT_EQ(noise.Sample(&dummy), fresh.Sample(&dummy));
+}
+
+TEST(HerTest, AugmentedSizeMatchesOption) {
+  common::Rng rng(7);
+  std::vector<Transition> transitions(10);
+  for (size_t i = 0; i < 10; ++i) transitions[i].reward = 0.1 * i;
+  HerOptions options;
+  options.relabels_per_transition = 3;
+  const auto augmented = HerAugment(transitions, options, &rng);
+  EXPECT_EQ(augmented.size(), 10u + 30u);
+}
+
+TEST(HerTest, RelabeledRewardsWithinBounds) {
+  common::Rng rng(8);
+  std::vector<Transition> transitions(20);
+  for (size_t i = 0; i < 20; ++i) transitions[i].reward = -1.0 + 0.1 * i;
+  const auto augmented = HerAugment(transitions, HerOptions{}, &rng);
+  for (size_t i = 20; i < augmented.size(); ++i) {
+    EXPECT_GE(augmented[i].reward, -1.0);
+    EXPECT_LE(augmented[i].reward, 1.0);
+  }
+}
+
+TEST(HerTest, GoalReachedGetsPositiveReward) {
+  common::Rng rng(9);
+  // All transitions share one reward -> every hindsight goal is achieved.
+  std::vector<Transition> transitions(5);
+  for (auto& t : transitions) t.reward = 0.5;
+  const auto augmented = HerAugment(transitions, HerOptions{}, &rng);
+  for (size_t i = 5; i < augmented.size(); ++i) {
+    EXPECT_DOUBLE_EQ(augmented[i].reward, 1.0);
+  }
+}
+
+TEST(HerTest, EmptyInputYieldsEmptyOutput) {
+  common::Rng rng(10);
+  EXPECT_TRUE(HerAugment({}, HerOptions{}, &rng).empty());
+}
+
+}  // namespace
+}  // namespace hunter::ml

@@ -1,0 +1,225 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/dependency_graph.h"
+#include "workload/workload_generator.h"
+#include "workload/workloads.h"
+
+namespace hunter::workload {
+namespace {
+
+TEST(WorkloadsTest, Table2RatiosAndSizes) {
+  EXPECT_DOUBLE_EQ(SysbenchReadOnly().read_fraction, 1.0);   // 1:0
+  EXPECT_DOUBLE_EQ(SysbenchWriteOnly().read_fraction, 0.0);  // 0:1
+  EXPECT_DOUBLE_EQ(SysbenchReadWrite().read_fraction, 0.5);  // 1:1
+  EXPECT_NEAR(Tpcc().read_fraction, 19.0 / 29.0, 1e-12);     // 19:10
+  EXPECT_DOUBLE_EQ(SysbenchReadOnly().data_size_gb, 8.0);
+  EXPECT_DOUBLE_EQ(Tpcc().data_size_gb, 8.97);
+  EXPECT_DOUBLE_EQ(Production(true).data_size_gb, 256.0);
+  EXPECT_EQ(SysbenchReadWrite().client_threads, 512);
+  EXPECT_EQ(Tpcc().client_threads, 32);
+}
+
+TEST(WorkloadsTest, RwRatioVariant) {
+  const auto four_to_one = SysbenchReadWriteRatio(4.0);
+  EXPECT_NEAR(four_to_one.read_fraction, 0.8, 1e-12);
+  EXPECT_LT(SysbenchReadWriteRatio(1.0).read_fraction,
+            four_to_one.read_fraction);
+}
+
+TEST(WorkloadsTest, ProductionDriftIsMoreWriteHeavy) {
+  const auto morning = Production(true);
+  const auto evening = Production(false);
+  EXPECT_GT(morning.read_fraction, evening.read_fraction);
+  EXPECT_NE(morning.zipf_theta, evening.zipf_theta);
+  EXPECT_NE(morning.name, evening.name);
+}
+
+TEST(WorkloadsTest, ScaleDataSizeScalesVolume) {
+  const auto base = SysbenchReadWrite();
+  const auto scaled = ScaleDataSize(base, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.data_size_gb, 80.0);
+  EXPECT_EQ(scaled.hot_rows, base.hot_rows * 10);
+}
+
+TEST(WorkloadsTest, AllStandardWorkloadsNamed) {
+  const auto all = AllStandardWorkloads();
+  EXPECT_EQ(all.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& w : all) names.insert(w.name);
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(TraceTest, GeneratesRequestedShape) {
+  common::Rng rng(1);
+  const auto trace = GenerateTrace(100, 10000, 0.8, 5, 3, &rng);
+  ASSERT_EQ(trace.size(), 100u);
+  double reads = 0, writes = 0;
+  for (const auto& txn : trace) {
+    reads += txn.read_set.size();
+    writes += txn.write_set.size();
+  }
+  EXPECT_NEAR(reads / 100, 5.0, 1.0);
+  EXPECT_NEAR(writes / 100, 3.0, 1.0);
+}
+
+TEST(DependencyGraphTest, PaperFigure3Example) {
+  // Fig. 3: A1 and A2 independent; B1, B2 depend on A1; B3 depends on A1
+  // and A2. Model with row conflicts: A1 writes {1,2}, A2 writes {3},
+  // B1 reads {1}, B2 reads {2}, B3 reads {2,3}... B3 needs A1 and A2.
+  std::vector<TracedTransaction> trace(5);
+  trace[0].id = 0;  // A1
+  trace[0].write_set = {1, 2};
+  trace[1].id = 1;  // A2
+  trace[1].write_set = {3};
+  trace[2].id = 2;  // B1
+  trace[2].read_set = {1};
+  trace[3].id = 3;  // B2
+  trace[3].read_set = {2};
+  trace[4].id = 4;  // B3
+  trace[4].read_set = {2, 3};
+  TxnDependencyGraph graph(trace);
+  const auto waves = graph.WaveSchedule();
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0], (std::vector<uint32_t>{0, 1}));
+  std::vector<uint32_t> wave1 = waves[1];
+  std::sort(wave1.begin(), wave1.end());
+  EXPECT_EQ(wave1, (std::vector<uint32_t>{2, 3, 4}));
+  EXPECT_EQ(graph.CriticalPathLength(), 2u);
+  EXPECT_DOUBLE_EQ(graph.EffectiveParallelism(), 2.5);
+}
+
+TEST(DependencyGraphTest, NoConflictsMeansOneWave) {
+  std::vector<TracedTransaction> trace(10);
+  for (size_t i = 0; i < 10; ++i) {
+    trace[i].id = i;
+    trace[i].write_set = {100 + i};  // disjoint rows
+  }
+  TxnDependencyGraph graph(trace);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.CriticalPathLength(), 1u);
+  EXPECT_DOUBLE_EQ(graph.EffectiveParallelism(), 10.0);
+}
+
+TEST(DependencyGraphTest, WriteChainSerializes) {
+  std::vector<TracedTransaction> trace(5);
+  for (size_t i = 0; i < 5; ++i) {
+    trace[i].id = i;
+    trace[i].write_set = {7};  // all write the same row
+  }
+  TxnDependencyGraph graph(trace);
+  EXPECT_EQ(graph.CriticalPathLength(), 5u);
+  EXPECT_DOUBLE_EQ(graph.EffectiveParallelism(), 1.0);
+}
+
+TEST(DependencyGraphTest, ReadersShareAWaveAfterWriter) {
+  std::vector<TracedTransaction> trace(4);
+  trace[0].write_set = {1};
+  trace[1].read_set = {1};
+  trace[2].read_set = {1};
+  trace[3].read_set = {1};
+  for (size_t i = 0; i < 4; ++i) trace[i].id = i;
+  TxnDependencyGraph graph(trace);
+  const auto waves = graph.WaveSchedule();
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[1].size(), 3u);  // readers run concurrently
+}
+
+TEST(DependencyGraphTest, AntiDependencyOrdersWriteAfterRead) {
+  // T0 reads row 5, T1 writes row 5: T1 must wait for T0.
+  std::vector<TracedTransaction> trace(2);
+  trace[0].id = 0;
+  trace[0].read_set = {5};
+  trace[1].id = 1;
+  trace[1].write_set = {5};
+  TxnDependencyGraph graph(trace);
+  EXPECT_EQ(graph.CriticalPathLength(), 2u);
+  EXPECT_EQ(graph.parent_count(1), 1u);
+}
+
+TEST(DependencyGraphTest, EveryTransactionScheduledExactlyOnce) {
+  common::Rng rng(3);
+  const auto trace = GenerateTrace(500, 2000, 0.9, 4, 4, &rng);
+  TxnDependencyGraph graph(trace);
+  const auto waves = graph.WaveSchedule();
+  std::set<uint32_t> seen;
+  size_t total = 0;
+  for (const auto& wave : waves) {
+    for (uint32_t txn : wave) seen.insert(txn);
+    total += wave.size();
+  }
+  EXPECT_EQ(total, 500u);
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(DependencyGraphTest, SkewReducesParallelism) {
+  common::Rng rng_a(4), rng_b(4);
+  const auto uniform = GenerateTrace(400, 100000, 0.0, 2, 2, &rng_a);
+  const auto skewed = GenerateTrace(400, 1000, 0.95, 2, 2, &rng_b);
+  EXPECT_GT(TxnDependencyGraph(uniform).EffectiveParallelism(),
+            TxnDependencyGraph(skewed).EffectiveParallelism());
+}
+
+TEST(WorkloadGeneratorTest, BuildsReplayProfileFromWindow) {
+  common::Rng rng(5);
+  CaptureWindow window;
+  window.num_txns = 1000;
+  window.reads_per_txn = 6;
+  window.writes_per_txn = 2;
+  const auto generated =
+      WorkloadGenerator::Build(Production(true), window, &rng);
+  EXPECT_GT(generated.dag_parallelism, 1.0);
+  EXPECT_GE(generated.profile.max_replay_parallelism, 1.0);
+  EXPECT_NEAR(generated.profile.read_fraction, 0.75, 1e-9);
+  EXPECT_NE(generated.profile.name.find("_replay"), std::string::npos);
+}
+
+TEST(WorkloadGeneratorTest, DagBeatsArrivalOrderReplay) {
+  common::Rng rng(6);
+  CaptureWindow window;
+  window.num_txns = 2000;
+  const auto generated =
+      WorkloadGenerator::Build(Production(true), window, &rng);
+  // The DAG exposes concurrency the naive arrival-order replay (1-at-a-time)
+  // cannot.
+  EXPECT_GT(generated.dag_parallelism,
+            generated.arrival_order_parallelism);
+}
+
+
+TEST(DependencyGraphTest, ScheduleRespectsEveryEdge) {
+  // Property: for random traces, every edge (parent -> child) must place
+  // the parent in a strictly earlier wave than the child.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    common::Rng rng(seed);
+    const auto trace = GenerateTrace(300, 500, 0.9, 3, 3, &rng);
+    TxnDependencyGraph graph(trace);
+    const auto waves = graph.WaveSchedule();
+    std::vector<size_t> wave_of(trace.size(), 0);
+    for (size_t w = 0; w < waves.size(); ++w) {
+      for (uint32_t txn : waves[w]) wave_of[txn] = w;
+    }
+    for (size_t parent = 0; parent < trace.size(); ++parent) {
+      for (uint32_t child : graph.children(parent)) {
+        EXPECT_LT(wave_of[parent], wave_of[child])
+            << "edge " << parent << " -> " << child << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DependencyGraphTest, EdgesOnlyPointForward) {
+  common::Rng rng(14);
+  const auto trace = GenerateTrace(200, 300, 0.8, 4, 4, &rng);
+  TxnDependencyGraph graph(trace);
+  for (uint32_t parent = 0; parent < trace.size(); ++parent) {
+    for (uint32_t child : graph.children(parent)) {
+      EXPECT_GT(child, parent);  // acyclic by construction
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hunter::workload
