@@ -31,6 +31,7 @@ hunter_add_bench(bench_fig11_cost)
 hunter_add_bench(bench_fig12_parallelization)
 hunter_add_bench(bench_fig13_model_reuse)
 hunter_add_bench(bench_fig14_instance_types)
+hunter_add_bench(bench_fault_tolerance)
 
 # Microbenchmarks use google-benchmark (unlike the experiment harnesses,
 # which print paper tables directly).

@@ -1,0 +1,107 @@
+// Fault-tolerance harness for the clone fleet: runs HUNTER on a 20-clone
+// fleet twice with identical seeds — once fault-free, once with a seeded
+// schedule injecting >=10% transient deploy failures, crashes, stragglers,
+// and one permanent clone death — and compares final best fitness and the
+// sim-clock cost of absorbing the faults. The resilience layer passes when
+// the faulty run completes without hangs, its best fitness lands within 5%
+// of the fault-free run, and retry/replacement costs show up on the clock.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+
+namespace hunter::bench {
+namespace {
+
+struct RunOutcome {
+  tuners::TuningResult result;
+  double sim_hours = 0.0;
+  size_t stress_tests = 0;
+  controller::FaultStats stats;
+};
+
+RunOutcome Run(const Scenario& scenario, bool faulty) {
+  auto instance = std::make_unique<cdb::CdbInstance>(
+      &scenario.catalog, scenario.instance, scenario.engine, 42);
+  controller::ControllerOptions options;
+  options.num_clones = 20;
+  options.seed = 42;
+  options.concurrent_actors = false;  // deterministic bench runs
+  if (faulty) {
+    options.faults.seed = 2026;
+    options.faults.transient_deploy_failure_rate = 0.10;
+    options.faults.crash_rate = 0.02;
+    options.faults.straggler_rate = 0.04;
+    options.faults.straggler_slowdown = 6.0;
+    options.faults.permanent_deaths = {{7, 5}};
+    options.straggler_timeout_seconds =
+        3.0 * controller::Actor::kExecutionSeconds;
+  }
+  auto controller = std::make_unique<controller::Controller>(
+      std::move(instance), scenario.workload, options);
+
+  auto tuner = MakeTuner("HUNTER", scenario, 7);
+  tuners::HarnessOptions harness;
+  harness.budget_hours = 6.0;
+  RunOutcome outcome;
+  outcome.result = tuners::RunTuning(tuner.get(), controller.get(), harness);
+  outcome.sim_hours = controller->clock().hours();
+  outcome.stress_tests = controller->total_stress_tests();
+  outcome.stats = controller->fault_stats();
+  return outcome;
+}
+
+}  // namespace
+}  // namespace hunter::bench
+
+int main() {
+  using namespace hunter;
+  std::printf(
+      "## Fault tolerance: HUNTER on a 20-clone fleet, fault-free vs a "
+      "seeded fault schedule\n\n");
+  const bench::Scenario scenario = bench::MySqlTpcc();
+  const bench::RunOutcome clean = bench::Run(scenario, false);
+  const bench::RunOutcome faulty = bench::Run(scenario, true);
+
+  common::TablePrinter table(
+      {"run", "best fitness", "best T (txn/min)", "sim hours", "attempts",
+       "retries", "transient", "crashes", "straggle t/o", "reclones",
+       "failed"});
+  const auto row = [&](const char* name, const bench::RunOutcome& run) {
+    table.AddRow({name,
+                  common::FormatDouble(run.result.best_sample.fitness, 3),
+                  common::FormatDouble(run.result.best_throughput * 60.0, 0),
+                  common::FormatDouble(run.sim_hours, 1),
+                  std::to_string(run.stress_tests),
+                  std::to_string(run.stats.retries),
+                  std::to_string(run.stats.transient_deploy_failures),
+                  std::to_string(run.stats.crashes),
+                  std::to_string(run.stats.straggler_timeouts),
+                  std::to_string(run.stats.reclones),
+                  std::to_string(run.stats.failed_samples)});
+  };
+  row("fault-free", clean);
+  row("faulty", faulty);
+  table.Print(std::cout);
+
+  const double clean_fitness = clean.result.best_sample.fitness;
+  const double faulty_fitness = faulty.result.best_sample.fitness;
+  const double gap =
+      std::abs(faulty_fitness - clean_fitness) / std::abs(clean_fitness);
+  const bool faults_injected = faulty.stats.transient_deploy_failures > 0 &&
+                               faulty.stats.permanent_deaths == 1;
+  const bool clock_charged = faulty.sim_hours > clean.sim_hours;
+  std::printf(
+      "\nbest-fitness gap vs fault-free: %.2f%% (acceptance: <= 5%%)\n",
+      100.0 * gap);
+  std::printf("fault schedule exercised: %s; retry/replacement time charged: "
+              "%s (%.2f h vs %.2f h)\n",
+              faults_injected ? "yes" : "NO", clock_charged ? "yes" : "NO",
+              faulty.sim_hours, clean.sim_hours);
+  const bool pass = gap <= 0.05 && faults_injected && clock_charged;
+  std::printf("verdict: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

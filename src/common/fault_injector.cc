@@ -1,0 +1,53 @@
+#include "common/fault_injector.h"
+
+namespace hunter::common {
+
+namespace {
+
+// SplitMix64 finalizer: the same mixer rng.h uses for seeding.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double FaultInjector::Draw(int clone_id, uint64_t op, uint64_t salt) const {
+  uint64_t h = Mix(options_.seed ^ (salt * 0xD6E8FEB86659FD93ull));
+  h = Mix(h ^ (static_cast<uint64_t>(static_cast<int64_t>(clone_id)) *
+               0xA3B195354A39B70Dull));
+  h = Mix(h ^ op);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::TransientDeployFailure(int clone_id, uint64_t op) const {
+  if (options_.transient_deploy_failure_rate <= 0.0) return false;
+  return Draw(clone_id, op, 1) < options_.transient_deploy_failure_rate;
+}
+
+bool FaultInjector::CrashesDuringRun(int clone_id, uint64_t op) const {
+  if (options_.crash_rate <= 0.0) return false;
+  return Draw(clone_id, op, 2) < options_.crash_rate;
+}
+
+double FaultInjector::CrashFraction(int clone_id, uint64_t op) const {
+  return 0.1 + 0.8 * Draw(clone_id, op, 3);
+}
+
+double FaultInjector::ExecutionSlowdown(int clone_id, uint64_t op) const {
+  if (options_.straggler_rate <= 0.0) return 1.0;
+  return Draw(clone_id, op, 4) < options_.straggler_rate
+             ? options_.straggler_slowdown
+             : 1.0;
+}
+
+bool FaultInjector::DiesPermanently(int clone_id, uint64_t op) const {
+  for (const CloneDeathSchedule& death : options_.permanent_deaths) {
+    if (death.clone_id == clone_id && op >= death.at_op) return true;
+  }
+  return false;
+}
+
+}  // namespace hunter::common

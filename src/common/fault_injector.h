@@ -1,0 +1,72 @@
+// Deterministic fault injection for the clone fleet (§2.1 acknowledges
+// clones can fail to boot; a real cloud also crashes, straggles, and fails
+// deployments transiently). Decisions are pure hash functions of
+// (seed, clone_id, per-clone operation serial), so a fault schedule is
+// reproducible regardless of thread interleaving — the Controller's retry,
+// straggler, and replacement policies can be tested and benchmarked against
+// an identical schedule in serial and concurrent runs.
+
+#ifndef HUNTER_COMMON_FAULT_INJECTOR_H_
+#define HUNTER_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hunter::common {
+
+// A scheduled unrecoverable clone loss: clone `clone_id` dies during its
+// `at_op`-th operation (and stays dead for any later op, should the caller
+// keep using it). The Controller responds by re-cloning from the user
+// instance under a fresh clone id, so the replacement draws a new stream.
+struct CloneDeathSchedule {
+  int clone_id = -1;
+  uint64_t at_op = 0;
+};
+
+struct FaultInjectorOptions {
+  uint64_t seed = 0;
+  // Probability a knob deployment fails transiently (retryable; the clone
+  // survives but the attempt costs a failed restart).
+  double transient_deploy_failure_rate = 0.0;
+  // Probability the clone crashes mid-stress-test (sample lost, instance
+  // needs a recovery restart; retryable).
+  double crash_rate = 0.0;
+  // Probability a stress test straggles, multiplying its execution time.
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 6.0;
+  std::vector<CloneDeathSchedule> permanent_deaths;
+
+  bool enabled() const {
+    return transient_deploy_failure_rate > 0.0 || crash_rate > 0.0 ||
+           straggler_rate > 0.0 || !permanent_deaths.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultInjectorOptions options)
+      : options_(std::move(options)) {}
+
+  bool enabled() const { return options_.enabled(); }
+  const FaultInjectorOptions& options() const { return options_; }
+
+  // All predicates are const and stateless: safe to consult from any thread.
+  bool TransientDeployFailure(int clone_id, uint64_t op) const;
+  bool CrashesDuringRun(int clone_id, uint64_t op) const;
+  // How far into the workload execution the crash happens, in (0.1, 0.9).
+  double CrashFraction(int clone_id, uint64_t op) const;
+  // 1.0 normally; options().straggler_slowdown when the run straggles.
+  double ExecutionSlowdown(int clone_id, uint64_t op) const;
+  bool DiesPermanently(int clone_id, uint64_t op) const;
+
+ private:
+  // Uniform draw in [0, 1) from the hash of (seed, clone, op, salt).
+  double Draw(int clone_id, uint64_t op, uint64_t salt) const;
+
+  FaultInjectorOptions options_;
+};
+
+}  // namespace hunter::common
+
+#endif  // HUNTER_COMMON_FAULT_INJECTOR_H_

@@ -17,7 +17,7 @@ double Variance(const std::vector<double>& values) {
   const double mean = Mean(values);
   double sum = 0.0;
   for (double v : values) sum += (v - mean) * (v - mean);
-  return sum / static_cast<double>(values.size());
+  return sum / static_cast<double>(values.size() - 1);
 }
 
 double StdDev(const std::vector<double>& values) {

@@ -12,10 +12,11 @@ namespace hunter::common {
 // Arithmetic mean; 0 for empty input.
 double Mean(const std::vector<double>& values);
 
-// Population variance; 0 for fewer than two values.
+// Sample variance (n-1 denominator, matching RunningStat::variance());
+// 0 for fewer than two values.
 double Variance(const std::vector<double>& values);
 
-// Population standard deviation.
+// Sample standard deviation.
 double StdDev(const std::vector<double>& values);
 
 // The q-th percentile (q in [0, 100]) using linear interpolation between

@@ -11,6 +11,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -27,7 +28,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task; the returned future yields the task's result.
+  // Drains outstanding work and joins all workers; idempotent. After
+  // shutdown, Submit throws instead of enqueueing tasks nobody will run.
+  void Shutdown();
+
+  // Enqueues a task; the returned future yields the task's result. Throws
+  // std::runtime_error if the pool has been shut down — without this, a
+  // post-shutdown submission would sit in the queue forever and the caller's
+  // future.get() would hang.
   template <typename F>
   auto Submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using Result = std::invoke_result_t<F>;
@@ -36,6 +44,9 @@ class ThreadPool {
     std::future<Result> future = packaged->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::Submit called after shutdown");
+      }
       queue_.emplace([packaged] { (*packaged)(); });
     }
     cv_.notify_one();

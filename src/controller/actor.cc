@@ -2,51 +2,86 @@
 
 namespace hunter::controller {
 
-Actor::Actor(std::unique_ptr<cdb::CdbInstance> clone, double alpha)
-    : clone_(std::move(clone)), alpha_(alpha) {}
+Actor::Actor(std::unique_ptr<cdb::CdbInstance> clone, double alpha,
+             int clone_id, const common::FaultInjector* injector)
+    : clone_(std::move(clone)),
+      alpha_(alpha),
+      clone_id_(clone_id),
+      injector_(injector) {}
 
-Sample Actor::StressTest(const std::vector<double>& normalized,
-                         const cdb::WorkloadProfile& workload,
-                         const cdb::PerformanceSummary& defaults,
-                         StressTestTiming* timing) {
+Actor::AttemptOutcome Actor::Attempt(const std::vector<double>& normalized,
+                                     const cdb::WorkloadProfile& workload,
+                                     const cdb::PerformanceSummary& defaults) {
+  const uint64_t op = op_serial_++;
+  AttemptOutcome out;
+
+  if (injector_ != nullptr && injector_->DiesPermanently(clone_id_, op)) {
+    // The clone is unrecoverable (host loss). It gets partway into the run
+    // before the loss is detected; the Controller replaces it.
+    out.status = AttemptStatus::kPermanentDeath;
+    out.timing.execution_seconds =
+        injector_->CrashFraction(clone_id_, op) * kExecutionSeconds;
+    return out;
+  }
+
+  if (injector_ != nullptr &&
+      injector_->TransientDeployFailure(clone_id_, op)) {
+    // The deployment attempt fails like an aborted restart; the previous
+    // configuration stays active and the attempt can be retried.
+    out.status = AttemptStatus::kTransientDeployFailure;
+    out.timing.deploy_seconds = cdb::CdbInstance::kRestartDeploySeconds;
+    return out;
+  }
+
   const cdb::Configuration config =
       clone_->catalog().DenormalizeConfiguration(normalized);
   const cdb::DeployOutcome deploy = clone_->DeployConfiguration(config);
-
-  Sample sample;
-  sample.knobs = normalized;
-  StressTestTiming local;
-  local.deploy_seconds = deploy.deploy_seconds;
+  out.timing.deploy_seconds = deploy.deploy_seconds;
+  out.sample.knobs = normalized;
 
   if (!deploy.booted) {
     // §2.1: a configuration that cannot boot is skipped and recorded with
     // throughput -1000 and "infinite" latency.
     const cdb::PerfResult failure = cdb::BootFailureResult();
-    sample.metrics = failure.metrics;
-    sample.throughput_tps = failure.throughput_tps;
-    sample.latency_p95_ms = failure.latency_p95_ms;
-    sample.boot_failed = true;
-    sample.fitness = cdb::kBootFailureFitness;
-  } else {
-    const cdb::PerfResult result = clone_->StressTest(workload);
-    local.execution_seconds = kExecutionSeconds;
-    local.collection_seconds = kCollectionSeconds;
-    sample.metrics = result.metrics;
-    sample.throughput_tps = result.throughput_tps;
-    sample.latency_p95_ms = result.latency_p95_ms;
-    sample.boot_failed = result.boot_failed;
-    sample.fitness = cdb::Fitness(
-        alpha_, {result.throughput_tps, result.latency_p95_ms}, defaults);
+    out.status = AttemptStatus::kBootFailure;
+    out.sample.metrics = failure.metrics;
+    out.sample.throughput_tps = failure.throughput_tps;
+    out.sample.latency_p95_ms = failure.latency_p95_ms;
+    out.sample.boot_failed = true;
+    out.sample.fitness = cdb::kBootFailureFitness;
+    return out;
   }
-  if (timing != nullptr) *timing = local;
-  return sample;
+
+  if (injector_ != nullptr && injector_->CrashesDuringRun(clone_id_, op)) {
+    // Crash partway through the workload replay: the sample is lost and the
+    // instance needs a recovery restart (charged by the Controller).
+    out.status = AttemptStatus::kCrash;
+    out.timing.execution_seconds =
+        injector_->CrashFraction(clone_id_, op) * kExecutionSeconds;
+    return out;
+  }
+
+  const cdb::PerfResult result = clone_->StressTest(workload);
+  const double slowdown =
+      injector_ != nullptr ? injector_->ExecutionSlowdown(clone_id_, op) : 1.0;
+  out.timing.execution_seconds = kExecutionSeconds * slowdown;
+  out.timing.collection_seconds = kCollectionSeconds;
+  out.sample.metrics = result.metrics;
+  out.sample.throughput_tps = result.throughput_tps;
+  out.sample.latency_p95_ms = result.latency_p95_ms;
+  out.sample.boot_failed = result.boot_failed;
+  out.sample.fitness = cdb::Fitness(
+      alpha_, {result.throughput_tps, result.latency_p95_ms}, defaults);
+  return out;
 }
 
 cdb::PerformanceSummary Actor::MeasureDefaults(
-    const cdb::WorkloadProfile& workload, int repeats) {
+    const cdb::WorkloadProfile& workload, int repeats,
+    double* deploy_seconds) {
   const cdb::Configuration defaults =
       clone_->catalog().DefaultConfiguration();
-  clone_->DeployConfiguration(defaults);
+  const cdb::DeployOutcome outcome = clone_->DeployConfiguration(defaults);
+  if (deploy_seconds != nullptr) *deploy_seconds = outcome.deploy_seconds;
   cdb::PerformanceSummary summary;
   for (int i = 0; i < repeats; ++i) {
     const cdb::PerfResult result = clone_->StressTest(workload);

@@ -1,7 +1,11 @@
 #include "controller/controller.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
 #include <future>
+#include <thread>
+#include <utility>
 
 namespace hunter::controller {
 
@@ -10,27 +14,61 @@ Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
                        const ControllerOptions& options)
     : user_instance_(std::move(user_instance)),
       workload_(std::move(workload)),
-      options_(options) {
+      options_(options),
+      injector_(options.faults) {
   const int clones = std::max(1, options.num_clones);
+  const common::FaultInjector* injector =
+      injector_.enabled() ? &injector_ : nullptr;
   actors_.reserve(static_cast<size_t>(clones));
   for (int i = 0; i < clones; ++i) {
-    actors_.push_back(
-        std::make_unique<Actor>(user_instance_->Clone(), options.alpha));
+    actors_.push_back(std::make_unique<Actor>(
+        user_instance_->Clone(), options.alpha, next_clone_id_++, injector));
   }
   if (options_.concurrent_actors && clones > 1) {
-    pool_ = std::make_unique<common::ThreadPool>(
-        std::min<size_t>(static_cast<size_t>(clones), 8));
+    size_t threads = options_.max_pool_threads;
+    if (threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = std::min<size_t>(static_cast<size_t>(clones),
+                                 hw == 0 ? static_cast<size_t>(clones) : hw);
+    }
+    pool_ = std::make_unique<common::ThreadPool>(threads);
   }
 }
 
 const cdb::PerformanceSummary& Controller::DefaultPerformance() {
   if (!defaults_measured_) {
-    default_performance_ =
-        actors_[0]->MeasureDefaults(workload_, options_.default_repeats);
-    clock_.Advance(options_.default_repeats * Actor::kExecutionSeconds);
+    double deploy_seconds = 0.0;
+    default_performance_ = actors_[0]->MeasureDefaults(
+        workload_, options_.default_repeats, &deploy_seconds);
+    // Resetting the clone to the default configuration is real work (a
+    // deploy, possibly a restart) and must hit the Table-1 accounting too.
+    clock_.Advance(deploy_seconds +
+                   options_.default_repeats * Actor::kExecutionSeconds);
     defaults_measured_ = true;
   }
   return default_performance_;
+}
+
+void Controller::ReplaceActor(size_t lane) {
+  const common::FaultInjector* injector =
+      injector_.enabled() ? &injector_ : nullptr;
+  actors_[lane] = std::make_unique<Actor>(
+      user_instance_->Clone(), options_.alpha, next_clone_id_++, injector);
+  ++fault_stats_.reclones;
+}
+
+void Controller::MarkEvaluationFailed(Sample* sample,
+                                      const std::vector<double>& knobs,
+                                      int attempts) {
+  const cdb::PerfResult failure = cdb::BootFailureResult();
+  sample->knobs = knobs;
+  sample->metrics = failure.metrics;
+  sample->throughput_tps = failure.throughput_tps;
+  sample->latency_p95_ms = failure.latency_p95_ms;
+  sample->boot_failed = true;
+  sample->evaluation_failed = true;
+  sample->fitness = cdb::kBootFailureFitness;
+  sample->attempts = attempts;
 }
 
 std::vector<Sample> Controller::EvaluateBatch(
@@ -38,42 +76,133 @@ std::vector<Sample> Controller::EvaluateBatch(
   const cdb::PerformanceSummary& defaults = DefaultPerformance();
   std::vector<Sample> samples(normalized_configs.size());
 
-  const size_t k = actors_.size();
-  for (size_t round_start = 0; round_start < normalized_configs.size();
-       round_start += k) {
-    const size_t round_end =
-        std::min(normalized_configs.size(), round_start + k);
-    std::vector<StressTestTiming> timings(round_end - round_start);
+  std::deque<WorkItem> queue;
+  for (size_t i = 0; i < normalized_configs.size(); ++i) {
+    queue.push_back(WorkItem{i, 0, 0.0});
+  }
 
+  while (!queue.empty()) {
+    const size_t lanes = std::min(queue.size(), actors_.size());
+    std::vector<WorkItem> items(queue.begin(),
+                                queue.begin() + static_cast<long>(lanes));
+    queue.erase(queue.begin(), queue.begin() + static_cast<long>(lanes));
+
+    std::vector<Actor::AttemptOutcome> outcomes(lanes);
     if (pool_ != nullptr) {
-      std::vector<std::future<Sample>> futures;
-      futures.reserve(round_end - round_start);
-      for (size_t i = round_start; i < round_end; ++i) {
-        Actor* actor = actors_[i - round_start].get();
-        const std::vector<double>* config = &normalized_configs[i];
-        StressTestTiming* timing = &timings[i - round_start];
-        futures.push_back(pool_->Submit([this, actor, config, timing, &defaults] {
-          return actor->StressTest(*config, workload_, defaults, timing);
+      std::vector<std::future<void>> futures;
+      futures.reserve(lanes);
+      for (size_t l = 0; l < lanes; ++l) {
+        Actor* actor = actors_[l].get();
+        const std::vector<double>* config =
+            &normalized_configs[items[l].index];
+        Actor::AttemptOutcome* out = &outcomes[l];
+        futures.push_back(pool_->Submit([actor, config, out, &defaults, this] {
+          *out = actor->Attempt(*config, workload_, defaults);
         }));
       }
-      for (size_t i = round_start; i < round_end; ++i) {
-        samples[i] = futures[i - round_start].get();
-      }
+      for (auto& future : futures) future.get();
     } else {
-      for (size_t i = round_start; i < round_end; ++i) {
-        samples[i] = actors_[i - round_start]->StressTest(
-            normalized_configs[i], workload_, defaults,
-            &timings[i - round_start]);
+      for (size_t l = 0; l < lanes; ++l) {
+        outcomes[l] =
+            actors_[l]->Attempt(normalized_configs[items[l].index], workload_,
+                                defaults);
       }
     }
 
-    // The round costs as much as its slowest clone (all run in parallel).
+    // The round costs as much as its slowest lane (all clones run in
+    // parallel); each lane additionally pays its item's backoff and any
+    // recovery/replacement work it triggered.
     double round_seconds = 0.0;
-    for (const StressTestTiming& timing : timings) {
-      round_seconds = std::max(round_seconds, timing.total());
+    for (size_t l = 0; l < lanes; ++l) {
+      const WorkItem& item = items[l];
+      Actor::AttemptOutcome& out = outcomes[l];
+      double lane_seconds = item.backoff_seconds;
+      bool requeue = false;
+      int next_attempt = item.attempt;
+
+      switch (out.status) {
+        case Actor::AttemptStatus::kOk: {
+          const bool timed_out =
+              options_.straggler_timeout_seconds > 0.0 &&
+              out.timing.execution_seconds >
+                  options_.straggler_timeout_seconds &&
+              item.attempt < options_.max_retries;
+          if (timed_out) {
+            // Cancel at the timeout and requeue onto whichever clone is
+            // free next round; the abandoned run cost deploy + timeout.
+            lane_seconds += out.timing.deploy_seconds +
+                            options_.straggler_timeout_seconds;
+            ++fault_stats_.straggler_timeouts;
+            requeue = true;
+            next_attempt = item.attempt + 1;
+          } else {
+            lane_seconds += out.timing.total();
+            out.sample.attempts = item.attempt + 1;
+            samples[item.index] = std::move(out.sample);
+          }
+          break;
+        }
+        case Actor::AttemptStatus::kBootFailure: {
+          // Deterministic property of the configuration: never retried.
+          lane_seconds += out.timing.total();
+          out.sample.attempts = item.attempt + 1;
+          samples[item.index] = std::move(out.sample);
+          break;
+        }
+        case Actor::AttemptStatus::kTransientDeployFailure: {
+          lane_seconds += out.timing.total();
+          ++fault_stats_.transient_deploy_failures;
+          if (item.attempt < options_.max_retries) {
+            requeue = true;
+            next_attempt = item.attempt + 1;
+          } else {
+            MarkEvaluationFailed(&samples[item.index],
+                                 normalized_configs[item.index],
+                                 item.attempt + 1);
+            ++fault_stats_.failed_samples;
+          }
+          break;
+        }
+        case Actor::AttemptStatus::kCrash: {
+          lane_seconds += out.timing.total() + options_.crash_recovery_seconds;
+          ++fault_stats_.crashes;
+          // The recovery restart comes back with a cold buffer pool.
+          actors_[l]->instance().PointInTimeRecover();
+          if (item.attempt < options_.max_retries) {
+            requeue = true;
+            next_attempt = item.attempt + 1;
+          } else {
+            MarkEvaluationFailed(&samples[item.index],
+                                 normalized_configs[item.index],
+                                 item.attempt + 1);
+            ++fault_stats_.failed_samples;
+          }
+          break;
+        }
+        case Actor::AttemptStatus::kPermanentDeath: {
+          lane_seconds += out.timing.total() + options_.reclone_seconds;
+          ++fault_stats_.permanent_deaths;
+          ReplaceActor(l);
+          // The clone died, not the configuration: re-dispatch without
+          // burning the item's retry budget or backing off.
+          requeue = true;
+          break;
+        }
+      }
+
+      if (requeue) {
+        ++fault_stats_.retries;
+        double backoff = 0.0;
+        if (next_attempt > item.attempt) {
+          backoff = options_.retry_backoff_seconds *
+                    std::pow(2.0, static_cast<double>(next_attempt - 1));
+        }
+        queue.push_back(WorkItem{item.index, next_attempt, backoff});
+      }
+      round_seconds = std::max(round_seconds, lane_seconds);
     }
     clock_.Advance(round_seconds);
-    total_stress_tests_ += round_end - round_start;
+    total_stress_tests_ += lanes;
   }
   return samples;
 }

@@ -16,6 +16,13 @@ struct Sample {
   double latency_p95_ms = 0.0;   // P: 95%-tail latency
   double fitness = 0.0;          // Equation-1 score vs the default config
   bool boot_failed = false;
+  // The clone fleet gave up on this configuration after exhausting retries
+  // (infrastructure fault, not a property of the config). Such samples carry
+  // the boot-failure clamp values so existing consumers handle them, but
+  // learners should skip them: they say nothing about the configuration.
+  bool evaluation_failed = false;
+  // Dispatches this sample needed (1 = succeeded first try).
+  int attempts = 1;
 };
 
 }  // namespace hunter::controller

@@ -45,18 +45,26 @@ std::vector<std::vector<double>> HunterTuner::Propose(size_t count) {
 }
 
 void HunterTuner::Observe(const std::vector<controller::Sample>& samples) {
-  pool_.AddBatch(samples);
+  // Samples the clone fleet gave up on (infrastructure faults, not boot
+  // failures) carry no information about their configuration: keep them out
+  // of the Shared Pool and away from the GA/DDPG learners entirely.
+  std::vector<controller::Sample> usable;
+  usable.reserve(samples.size());
+  for (const controller::Sample& sample : samples) {
+    if (!sample.evaluation_failed) usable.push_back(sample);
+  }
+  pool_.AddBatch(usable);
   if (phase_ == Phase::kSampleFactory) {
     if (options_.use_ga) {
-      factory_->Observe(samples);
+      factory_->Observe(usable);
       if (factory_->Done()) MaybeTransitionToRecommend();
     } else if (warmup_proposed_ >= options_.random_warmup_without_ga) {
       MaybeTransitionToRecommend();
     }
     return;
   }
-  recommender_->Observe(samples);
-  recommend_samples_ += samples.size();
+  recommender_->Observe(usable);
+  recommend_samples_ += usable.size();
   if (options_.reoptimize_every > 0 &&
       recommend_samples_ >= options_.reoptimize_every) {
     recommend_samples_ = 0;

@@ -20,6 +20,7 @@ TuningResult RunTuning(Tuner* tuner, controller::Controller* controller,
     result.steps += samples.size();
 
     for (const controller::Sample& sample : samples) {
+      if (sample.evaluation_failed) ++result.failed_samples;
       if (sample.boot_failed) continue;
       if (sample.fitness > result.best_sample.fitness) {
         result.best_sample = sample;

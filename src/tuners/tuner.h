@@ -49,7 +49,10 @@ struct TuningResult {
   // Earliest time at which the tuner reached within `recommendation
   // tolerance` of its final best throughput ("recommendation time", §6).
   double recommendation_hours = 0.0;
-  size_t steps = 0;                        // stress tests executed
+  size_t steps = 0;                        // configurations evaluated
+  // Configurations the clone fleet gave up on after exhausting retries
+  // (clamped like boot failures; excluded from the curve and best-so-far).
+  size_t failed_samples = 0;
 };
 
 struct HarnessOptions {

@@ -1,0 +1,117 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace hunter::common {
+namespace {
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (uint64_t op = 0; op < 100; ++op) {
+    EXPECT_FALSE(injector.TransientDeployFailure(0, op));
+    EXPECT_FALSE(injector.CrashesDuringRun(0, op));
+    EXPECT_DOUBLE_EQ(injector.ExecutionSlowdown(0, op), 1.0);
+    EXPECT_FALSE(injector.DiesPermanently(0, op));
+  }
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossInstancesAndCallOrder) {
+  FaultInjectorOptions options;
+  options.seed = 1234;
+  options.transient_deploy_failure_rate = 0.2;
+  options.crash_rate = 0.1;
+  options.straggler_rate = 0.15;
+  const FaultInjector a(options);
+  const FaultInjector b(options);
+  for (int clone = 0; clone < 4; ++clone) {
+    for (uint64_t op = 0; op < 200; ++op) {
+      EXPECT_EQ(a.TransientDeployFailure(clone, op),
+                b.TransientDeployFailure(clone, op));
+      EXPECT_EQ(a.CrashesDuringRun(clone, op), b.CrashesDuringRun(clone, op));
+      EXPECT_DOUBLE_EQ(a.ExecutionSlowdown(clone, op),
+                       b.ExecutionSlowdown(clone, op));
+      EXPECT_DOUBLE_EQ(a.CrashFraction(clone, op), b.CrashFraction(clone, op));
+    }
+  }
+}
+
+TEST(FaultInjectorTest, RatesApproximatelyRespected) {
+  FaultInjectorOptions options;
+  options.seed = 7;
+  options.transient_deploy_failure_rate = 0.2;
+  const FaultInjector injector(options);
+  int failures = 0;
+  const int n = 20000;
+  for (int op = 0; op < n; ++op) {
+    if (injector.TransientDeployFailure(1, static_cast<uint64_t>(op))) {
+      ++failures;
+    }
+  }
+  const double rate = static_cast<double>(failures) / n;
+  EXPECT_GT(rate, 0.17);
+  EXPECT_LT(rate, 0.23);
+}
+
+TEST(FaultInjectorTest, IndependentStreamsPerClone) {
+  FaultInjectorOptions options;
+  options.seed = 99;
+  options.transient_deploy_failure_rate = 0.5;
+  const FaultInjector injector(options);
+  int differing = 0;
+  for (uint64_t op = 0; op < 256; ++op) {
+    if (injector.TransientDeployFailure(0, op) !=
+        injector.TransientDeployFailure(1, op)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);  // clone 1 is not a replay of clone 0
+}
+
+TEST(FaultInjectorTest, PermanentDeathHonorsSchedule) {
+  FaultInjectorOptions options;
+  options.seed = 5;
+  options.permanent_deaths = {{3, 5}};
+  const FaultInjector injector(options);
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_FALSE(injector.DiesPermanently(3, 4));
+  EXPECT_TRUE(injector.DiesPermanently(3, 5));
+  EXPECT_TRUE(injector.DiesPermanently(3, 9));  // dead stays dead
+  EXPECT_FALSE(injector.DiesPermanently(2, 5));
+  EXPECT_FALSE(injector.DiesPermanently(4, 100));
+}
+
+TEST(FaultInjectorTest, SlowdownIsBinaryAndBothValuesOccur) {
+  FaultInjectorOptions options;
+  options.seed = 11;
+  options.straggler_rate = 0.5;
+  options.straggler_slowdown = 8.0;
+  const FaultInjector injector(options);
+  int straggled = 0, normal = 0;
+  for (uint64_t op = 0; op < 200; ++op) {
+    const double slowdown = injector.ExecutionSlowdown(2, op);
+    if (slowdown == 8.0) {
+      ++straggled;
+    } else {
+      EXPECT_DOUBLE_EQ(slowdown, 1.0);
+      ++normal;
+    }
+  }
+  EXPECT_GT(straggled, 0);
+  EXPECT_GT(normal, 0);
+}
+
+TEST(FaultInjectorTest, CrashFractionStaysInsideRun) {
+  FaultInjectorOptions options;
+  options.seed = 21;
+  options.crash_rate = 1.0;
+  const FaultInjector injector(options);
+  for (uint64_t op = 0; op < 500; ++op) {
+    const double fraction = injector.CrashFraction(0, op);
+    EXPECT_GT(fraction, 0.0);
+    EXPECT_LT(fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hunter::common

@@ -19,9 +19,19 @@ TEST(StatsTest, VarianceOfConstantIsZero) {
 }
 
 TEST(StatsTest, VarianceOfKnownValues) {
-  // Population variance of {2,4,4,4,5,5,7,9} is 4.
-  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
-  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+  // Sample variance (n-1 denominator) of {2,4,4,4,5,5,7,9} is 32/7.
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0));
+}
+
+TEST(StatsTest, VarianceAgreesWithRunningStat) {
+  // Regression: Variance used the population (n) denominator while
+  // RunningStat::variance used the sample (n-1) denominator.
+  const std::vector<double> v = {1.5, -2.0, 3.25, 0.0, 7.5, 4.0};
+  RunningStat rs;
+  for (double x : v) rs.Add(x);
+  EXPECT_NEAR(Variance(v), rs.variance(), 1e-12);
+  EXPECT_NEAR(StdDev(v), rs.stddev(), 1e-12);
 }
 
 TEST(StatsTest, PercentileEndpoints) {

@@ -37,6 +37,27 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  // Regression: submitting after shutdown used to enqueue a task no worker
+  // would ever run, so the returned future's get() hung forever.
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDrainsQueue) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {

@@ -1,6 +1,8 @@
 #include "controller/controller.h"
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -41,6 +43,44 @@ TEST_F(ControllerTest, DefaultPerformanceIsPositiveAndCached) {
   const double clock_after_first = controller->clock().seconds();
   controller->DefaultPerformance();  // cached, no extra time
   EXPECT_DOUBLE_EQ(controller->clock().seconds(), clock_after_first);
+}
+
+TEST_F(ControllerTest, DefaultPerformanceChargesDeployCost) {
+  // Regression: resetting the clone to the default configuration is a real
+  // deploy and must be charged, not just the measurement runs.
+  auto controller = Make(1);
+  controller->DefaultPerformance();
+  // The clone already runs the default config, so the reset takes the
+  // dynamic-deploy path; two measurement runs follow.
+  EXPECT_DOUBLE_EQ(controller->clock().seconds(),
+                   cdb::CdbInstance::kDynamicDeploySeconds +
+                       2.0 * Actor::kExecutionSeconds);
+}
+
+TEST_F(ControllerTest, PoolSizedToClonesBoundedByHardware) {
+  // Regression: the pool was silently capped at 8 threads, serializing the
+  // paper's 20-clone Fig. 12 configuration.
+  auto instance = std::make_unique<cdb::CdbInstance>(
+      &catalog_, cdb::MySqlEvaluationInstance(), cdb::MySqlEngineTuning(), 42);
+  ControllerOptions options;
+  options.num_clones = 20;
+  options.concurrent_actors = true;
+  Controller controller(std::move(instance), workload::Tpcc(), options);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t expected =
+      hw == 0 ? 20u : std::min<size_t>(20u, static_cast<size_t>(hw));
+  EXPECT_EQ(controller.pool_threads(), expected);
+}
+
+TEST_F(ControllerTest, MaxPoolThreadsOptionOverridesSizing) {
+  auto instance = std::make_unique<cdb::CdbInstance>(
+      &catalog_, cdb::MySqlEvaluationInstance(), cdb::MySqlEngineTuning(), 42);
+  ControllerOptions options;
+  options.num_clones = 6;
+  options.concurrent_actors = true;
+  options.max_pool_threads = 3;
+  Controller controller(std::move(instance), workload::Tpcc(), options);
+  EXPECT_EQ(controller.pool_threads(), 3u);
 }
 
 TEST_F(ControllerTest, EvaluateBatchReturnsOneSamplePerConfig) {
@@ -178,6 +218,43 @@ TEST(SharedPoolTest, ClearEmptiesPool) {
   pool.Add(Sample{});
   pool.Clear();
   EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(SharedPoolTest, ConcurrentAddBatchBestSnapshotStress) {
+  // Hammer the pool from parallel writers and readers; run under
+  // HUNTER_SANITIZE=thread via `ctest -L concurrency` to catch races.
+  SharedPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<int> best_calls{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &best_calls, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Sample sample;
+        sample.fitness = 0.001 * (t * kOpsPerThread + i);
+        if (i % 3 == 0) {
+          pool.AddBatch({sample, sample});
+        } else {
+          pool.Add(sample);
+        }
+        if (i % 7 == 0) {
+          Sample best;
+          if (pool.Best(&best)) ++best_calls;
+        }
+        if (i % 31 == 0) (void)pool.Snapshot().size();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Each thread adds 2 samples on i%3==0 (67 of 200) and 1 otherwise.
+  constexpr int kPerThread = 67 * 2 + 133;
+  EXPECT_EQ(pool.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_GT(best_calls.load(), 0);
+  Sample best;
+  ASSERT_TRUE(pool.Best(&best));
+  EXPECT_DOUBLE_EQ(best.fitness, 0.001 * (kThreads * kOpsPerThread - 1));
 }
 
 }  // namespace

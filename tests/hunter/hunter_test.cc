@@ -67,6 +67,43 @@ TEST_F(HunterTest, FullLoopImprovesOverDefaults) {
   EXPECT_GT(result.best_sample.fitness, 0.0);
 }
 
+TEST_F(HunterTest, SurvivesFaultyCloneFleet) {
+  // Full tuning loop on a fleet with transient failures, crashes, a
+  // straggler policy, and one permanent clone death: no hangs, the best
+  // configuration still clearly beats the defaults, and no infra-failure
+  // sentinel leaks into the Shared Pool.
+  auto instance = std::make_unique<cdb::CdbInstance>(
+      &catalog_, cdb::MySqlEvaluationInstance(), cdb::MySqlEngineTuning(), 42);
+  controller::ControllerOptions coptions;
+  coptions.num_clones = 4;
+  coptions.seed = 42;
+  coptions.concurrent_actors = false;
+  coptions.faults.seed = 13;
+  coptions.faults.transient_deploy_failure_rate = 0.12;
+  coptions.faults.crash_rate = 0.04;
+  coptions.faults.straggler_rate = 0.05;
+  coptions.faults.permanent_deaths = {{2, 3}};
+  coptions.straggler_timeout_seconds = 3.0 * controller::Actor::kExecutionSeconds;
+  auto controller = std::make_unique<controller::Controller>(
+      std::move(instance), workload::Tpcc(), coptions);
+
+  HunterTuner tuner(&catalog_, Rules(), FastOptions(), 8);
+  tuners::HarnessOptions harness;
+  harness.budget_hours = 8.0;
+  const tuners::TuningResult result =
+      tuners::RunTuning(&tuner, controller.get(), harness);
+
+  const controller::FaultStats& stats = controller->fault_stats();
+  EXPECT_GT(stats.transient_deploy_failures, 0u);
+  EXPECT_EQ(stats.permanent_deaths, 1u);
+  const double default_throughput =
+      controller->DefaultPerformance().throughput_tps;
+  EXPECT_GT(result.best_throughput, 1.2 * default_throughput);
+  for (const controller::Sample& sample : tuner.shared_pool().Snapshot()) {
+    EXPECT_FALSE(sample.evaluation_failed);
+  }
+}
+
 TEST_F(HunterTest, AblationWithoutGaUsesRandomWarmup) {
   auto controller = MakeController(1);
   HunterOptions options = FastOptions();

@@ -241,6 +241,32 @@ TEST(HarnessTest, RespectsBudgetAndRecordsCurve) {
   EXPECT_LE(result.recommendation_hours, result.curve.back().hours);
 }
 
+TEST(TunerFaultToleranceTest, BaselinesTolerateEvaluationFailedSamples) {
+  // A sample the clone fleet gave up on carries the boot-failure clamp plus
+  // evaluation_failed; every baseline must keep proposing valid configs
+  // after observing a batch dominated by such samples.
+  controller::Sample failed = MakeSample(std::vector<double>(kDim, 0.5), 0.0);
+  failed.boot_failed = true;
+  failed.evaluation_failed = true;
+  failed.fitness = cdb::kBootFailureFitness;
+  failed.throughput_tps = -1000.0;
+  const controller::Sample ok = MakeSample(std::vector<double>(kDim, 0.6), 0.2);
+  const std::vector<controller::Sample> batch = {failed, ok, failed};
+
+  BestConfigTuner bestconfig(kDim, BestConfigOptions{}, 1);
+  OtterTuneTuner ottertune(kDim, OtterTuneOptions{}, 2);
+  CdbTuneTuner cdbtune(cdb::kNumMetrics, kDim, {}, CdbTuneOptions{}, 3);
+  RandomTuner random(kDim, 4);
+  std::vector<Tuner*> tuners = {&bestconfig, &ottertune, &cdbtune, &random};
+  for (Tuner* tuner : tuners) {
+    for (int round = 0; round < 3; ++round) {
+      (void)tuner->Propose(3);
+      tuner->Observe(batch);
+    }
+    ExpectValidProposals(tuner, 3, kDim);
+  }
+}
+
 TEST(HarnessTest, TargetThroughputStopsEarly) {
   cdb::KnobCatalog catalog = cdb::MySqlCatalog();
   auto instance = std::make_unique<cdb::CdbInstance>(
