@@ -40,3 +40,14 @@ target_link_libraries(bench_micro_components PRIVATE
   benchmark::benchmark hunter_core hunter_workload)
 set_target_properties(bench_micro_components PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Perf-regression harness for the batched ML hot paths: times seed vs.
+# rewritten implementations, asserts equivalence, writes BENCH_hotpaths.json.
+# The smoke configuration runs on every `ctest -L perf` (and plain ctest)
+# invocation so the equivalence asserts gate each build.
+hunter_add_bench(bench_micro_hotpaths)
+add_test(NAME perf_hotpaths_smoke
+  COMMAND bench_micro_hotpaths --smoke --out BENCH_hotpaths_smoke.json)
+set_tests_properties(perf_hotpaths_smoke PROPERTIES
+  LABELS "perf"
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR})

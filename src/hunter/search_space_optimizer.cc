@@ -1,7 +1,10 @@
 #include "hunter/search_space_optimizer.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+
+#include "common/thread_pool.h"
 
 namespace hunter::core {
 
@@ -54,7 +57,11 @@ OptimizedSpace SearchSpaceOptimizer::Optimize(
       y[r] = pool[r].fitness;
     }
     ml::RandomForest forest;
-    forest.Fit(x, y, options.forest, rng);
+    std::unique_ptr<common::ThreadPool> pool;
+    if (options.rf_fit_threads > 1) {
+      pool = std::make_unique<common::ThreadPool>(options.rf_fit_threads);
+    }
+    forest.Fit(x, y, options.forest, rng, pool.get());
     const std::vector<size_t> ranking = forest.RankFeatures();
     const size_t keep = std::min(options.top_knobs, tunable.size());
     space.selected_knobs.reserve(keep);

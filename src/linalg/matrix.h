@@ -1,7 +1,15 @@
-// Minimal dense linear algebra used by PCA (covariance + eigendecomposition)
-// and Gaussian-process regression (Cholesky solves). Row-major doubles; the
-// matrices in this project are small (tens to a few hundreds of rows), so
-// clarity is favored over blocking/vectorization tricks.
+// Minimal dense linear algebra used by PCA (covariance + eigendecomposition),
+// Gaussian-process regression (Cholesky solves) and the batched MLP/DDPG
+// training paths. Row-major doubles. The matrices in this project are small
+// (tens to a few hundreds of rows), but the training loops call into them
+// thousands of times per tuning step, so the hot kernels are written to be
+// allocation-free (callers pass preallocated outputs that are reused across
+// steps) and cache-friendly (all inner loops stream contiguous rows).
+//
+// Numeric contract: every GEMM kernel accumulates each output element with
+// the k (inner/contraction) index ascending, exactly like a textbook
+// dot-product loop. The batched ML paths rely on this to stay bit-compatible
+// with the per-sample reference paths they replaced.
 
 #ifndef HUNTER_LINALG_MATRIX_H_
 #define HUNTER_LINALG_MATRIX_H_
@@ -10,6 +18,28 @@
 #include <vector>
 
 namespace hunter::linalg {
+
+// Low-level row-major GEMM kernels shared by Matrix and the ML hot paths
+// (which keep network parameters in flat arrays). `a` is (m x k), `b` is
+// (k x n), `out` is (m x n). With `accumulate` the kernel adds into the
+// existing contents of `out` (used to seed bias terms); otherwise `out` is
+// zeroed first.
+void GemmInto(const double* a, size_t m, size_t k, const double* b, size_t n,
+              bool accumulate, double* out);
+
+// out = broadcast(bias) + a * b: every output row starts from the length-n
+// `bias` row and the contraction then accumulates on top, k ascending — the
+// same order as seeding `out` with the bias and calling GemmInto in
+// accumulate mode, but without the extra write+read pass over `out`. This
+// is the layer-forward kernel: pre = bias + x * W^T.
+void GemmBiasInto(const double* a, size_t m, size_t k, const double* b,
+                  size_t n, const double* bias, double* out);
+
+// out (+)= a^T * b where `a` is (k x m) and `b` is (k x n); the contraction
+// runs over the leading (row) index of both, ascending, which matches the
+// sample-by-sample gradient accumulation order of the per-sample paths.
+void GemmTransposedAInto(const double* a, size_t k, size_t m, const double* b,
+                         size_t n, bool accumulate, double* out);
 
 class Matrix {
  public:
@@ -27,6 +57,17 @@ class Matrix {
   double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
+  // Raw row-major storage, for the allocation-free kernels above.
+  double* Data() { return data_.data(); }
+  const double* Data() const { return data_.data(); }
+
+  // Reshapes to rows x cols reusing the existing allocation where possible;
+  // the contents are unspecified afterwards. Cheap to call every step with
+  // the same shape (a no-op beyond bookkeeping), which is how the training
+  // arenas stay allocation-free in steady state.
+  void Reshape(size_t rows, size_t cols);
+  void Fill(double value);
+
   std::vector<double> Row(size_t r) const;
   std::vector<double> Col(size_t c) const;
 
@@ -34,10 +75,22 @@ class Matrix {
   Matrix Multiply(const Matrix& other) const;
   std::vector<double> MultiplyVector(const std::vector<double>& v) const;
 
+  // out = this * other, written into a preallocated (and reusable) output.
+  void MultiplyInto(const Matrix& other, Matrix* out) const;
+  // out (+)= this^T * other (this and other share their row count).
+  void TransposedMultiplyInto(const Matrix& other, Matrix* out,
+                              bool accumulate = false) const;
+
   // Element-wise operations (shapes must match).
   Matrix Add(const Matrix& other) const;
   Matrix Subtract(const Matrix& other) const;
   Matrix Scale(double factor) const;
+
+  // In-place element-wise operations — no temporaries.
+  void AddInPlace(const Matrix& other);
+  void ScaleInPlace(double factor);
+  // this += alpha * x (shapes must match).
+  void Axpy(double alpha, const Matrix& x);
 
   const std::vector<double>& data() const { return data_; }
 
@@ -50,14 +103,16 @@ class Matrix {
 // Column means of a data matrix (one observation per row).
 std::vector<double> ColumnMeans(const Matrix& data);
 
-// Column standard deviations (population); zeros stay zero.
+// Column standard deviations (sample, N-1 denominator — consistent with
+// common::Variance / common::RunningStat); zeros stay zero.
 std::vector<double> ColumnStdDevs(const Matrix& data);
 
 // Centers (and optionally scales to unit variance) each column.
 // Columns with zero variance are centered only.
 Matrix Standardize(const Matrix& data, bool unit_variance);
 
-// Sample covariance matrix (rows are observations).
+// Sample covariance matrix (rows are observations), computed as a centered
+// X^T X GEMM.
 Matrix Covariance(const Matrix& data);
 
 // Symmetric eigendecomposition via cyclic Jacobi rotations.

@@ -9,6 +9,7 @@
 #define HUNTER_ML_CART_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -24,11 +25,41 @@ struct CartOptions {
   size_t max_features = 0;
 };
 
+// Shared per-dataset sort index: for every feature, the rows of `x` in
+// ascending feature-value order (ties by row index). A forest builds this
+// once and every tree derives its bootstrap view's sorted position lists
+// from it with a linear counting pass, replacing the per-tree
+// O(d * m log m) comparison sorts. Read-only after Build, so the pool
+// workers can share one instance without synchronization.
+struct FeaturePresort {
+  size_t num_rows = 0;
+  size_t num_features = 0;
+  // 32-bit row ids: the index stripes are the hottest data the splitter
+  // streams, and halving them doubles the rows per cache line.
+  std::vector<uint32_t> sorted_rows;  // num_features stripes of num_rows
+
+  void Build(const linalg::Matrix& x);
+};
+
 class CartTree {
  public:
   // Fits on data rows `x` with labels `y`; `rng` drives feature subsampling.
   void Fit(const linalg::Matrix& x, const std::vector<double>& y,
            const CartOptions& options, common::Rng* rng);
+
+  // Fits on a view of `x` given by `row_indices` (duplicates allowed — this
+  // is how the forest expresses bootstrap samples without materializing a
+  // copied design matrix). Fit(x, y, ...) is FitIndices with the identity
+  // index set. When `presort` is provided (built for this same `x`), the
+  // per-feature sorted position lists are derived from it in O(n + m) per
+  // feature instead of sorted per tree; with or without it the fit is
+  // deterministic, and the two modes agree whenever no two distinct rows
+  // share a feature value (equal-value runs are never cut, so ties only
+  // permute summation order within a run).
+  void FitIndices(const linalg::Matrix& x, const std::vector<double>& y,
+                  const std::vector<size_t>& row_indices,
+                  const CartOptions& options, common::Rng* rng,
+                  const FeaturePresort* presort = nullptr);
 
   double Predict(const std::vector<double>& row) const;
 
@@ -50,9 +81,14 @@ class CartTree {
     int right = -1;
   };
 
-  int BuildNode(const linalg::Matrix& x, const std::vector<double>& y,
-                std::vector<size_t>& indices, size_t begin, size_t end,
-                int depth, const CartOptions& options, common::Rng* rng);
+  // Per-fit working set: a feature-major gather of the training view plus
+  // one pre-sorted position list per feature. The sort happens once at the
+  // root; every split then scans candidate cuts in O(count) and partitions
+  // all feature lists stably, so no per-node sorting or allocation remains.
+  struct Scratch;
+
+  int BuildNode(Scratch& s, size_t begin, size_t end, int depth,
+                const CartOptions& options, common::Rng* rng);
 
   std::vector<Node> nodes_;
   std::vector<double> importance_;

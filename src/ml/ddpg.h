@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "linalg/matrix.h"
 #include "ml/mlp.h"
 #include "ml/replay_buffer.h"
 
@@ -32,6 +33,12 @@ struct DdpgOptions {
   size_t replay_capacity = 100000;
   // Gradient L2-norm clip (0 disables clipping).
   double grad_clip = 5.0;
+  // When true (default), TrainStep runs the three batched GEMM passes
+  // (critic target, critic update, actor update) over preallocated arenas.
+  // When false it runs the original per-sample reference path. Both paths
+  // consume the same RNG stream and produce bit-identical parameters; the
+  // flag exists for baseline timing and equivalence tests.
+  bool batched_training = true;
 };
 
 class Ddpg {
@@ -61,6 +68,10 @@ class Ddpg {
   void LoadParameters(const std::vector<double>& params);
 
  private:
+  // The two TrainStep bodies; both consume `batch_indices_`.
+  double TrainStepScalar();
+  double TrainStepBatched();
+
   DdpgOptions options_;
   common::Rng rng_;
   Mlp actor_;
@@ -68,6 +79,21 @@ class Ddpg {
   Mlp target_actor_;
   Mlp target_critic_;
   ReplayBuffer buffer_;
+
+  // Sampled minibatch indices and batched-training arenas, reused across
+  // steps so the steady-state train loop allocates nothing.
+  std::vector<size_t> batch_indices_;
+  std::vector<double> b_target_;       // TD targets, one per row
+  linalg::Matrix b_states_;            // batch x S
+  linalg::Matrix b_next_states_;       // batch x S
+  linalg::Matrix b_sa_;                // batch x (S+A), state ‖ action
+  linalg::Matrix b_next_sa_;           // batch x (S+A)
+  linalg::Matrix b_tanh_;              // batch x A (actor tanh output)
+  linalg::Matrix b_q_;                 // batch x 1
+  linalg::Matrix b_next_q_;            // batch x 1
+  linalg::Matrix b_grad_q_;            // batch x 1
+  linalg::Matrix b_grad_sa_;           // batch x (S+A), dQ/d(s‖a)
+  linalg::Matrix b_grad_action_;       // batch x A
 };
 
 }  // namespace hunter::ml

@@ -1,5 +1,6 @@
 #include "ml/mlp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -92,6 +93,97 @@ std::vector<double> Mlp::Predict(const std::vector<double>& input) const {
   return activation;
 }
 
+void Mlp::ForwardBatch(const linalg::Matrix& input, linalg::Matrix* output) {
+  assert(!layers_.empty());
+  const size_t batch = input.rows();
+  batch_input0_ = &input;
+  const linalg::Matrix* cur = &input;
+  for (Layer& layer : layers_) {
+    assert(cur->cols() == layer.in);
+    // One O(in*out) transpose gather, amortized over the batch and over
+    // every ForwardBatch call until the weights next move.
+    if (!layer.weights_t_valid) {
+      layer.weights_t.Reshape(layer.in, layer.out);
+      for (size_t o = 0; o < layer.out; ++o) {
+        const double* w = &layer.weights[o * layer.in];
+        for (size_t i = 0; i < layer.in; ++i) layer.weights_t.At(i, o) = w[i];
+      }
+      layer.weights_t_valid = true;
+    }
+    // pre = bias + x * W^T in one kernel: each accumulator starts from the
+    // bias and the inputs add on in ascending index order — the same
+    // addition order as the per-sample loop, so the results are
+    // bit-identical.
+    layer.batch_pre.Reshape(batch, layer.out);
+    linalg::GemmBiasInto(cur->Data(), batch, layer.in, layer.weights_t.Data(),
+                         layer.out, layer.bias.data(),
+                         layer.batch_pre.Data());
+    layer.batch_out.Reshape(batch, layer.out);
+    const double* pre = layer.batch_pre.Data();
+    double* out = layer.batch_out.Data();
+    for (size_t idx = 0; idx < batch * layer.out; ++idx) {
+      out[idx] = Activate(pre[idx], layer.activation);
+    }
+    cur = &layer.batch_out;
+  }
+  *output = *cur;
+}
+
+void Mlp::BackwardBatch(const linalg::Matrix& grad_output,
+                        linalg::Matrix* grad_input,
+                        bool accumulate_param_grads) {
+  assert(!layers_.empty());
+  const size_t batch = grad_output.rows();
+  const linalg::Matrix* grad = &grad_output;
+  linalg::Matrix* next = &scratch_grad_a_;
+  linalg::Matrix* spare = &scratch_grad_b_;
+  for (size_t li = layers_.size(); li > 0; --li) {
+    Layer& layer = layers_[li - 1];
+    assert(grad->cols() == layer.out && grad->rows() == batch);
+    assert(layer.batch_pre.rows() == batch);
+    // delta = grad ⊙ activation'(pre, post).
+    scratch_delta_.Reshape(batch, layer.out);
+    {
+      const double* g = grad->Data();
+      const double* pre = layer.batch_pre.Data();
+      const double* post = layer.batch_out.Data();
+      double* delta = scratch_delta_.Data();
+      for (size_t idx = 0; idx < batch * layer.out; ++idx) {
+        delta[idx] = g[idx] * ActivateGrad(pre[idx], post[idx],
+                                           layer.activation);
+      }
+    }
+    const double* delta = scratch_delta_.Data();
+    assert(batch_input0_ != nullptr && batch_input0_->rows() == batch);
+    const linalg::Matrix& layer_input =
+        (li == 1) ? *batch_input0_ : layers_[li - 2].batch_out;
+    if (accumulate_param_grads) {
+      // grad_weights += delta^T * layer_input: the contraction runs over the
+      // batch rows ascending, matching per-sample accumulation order.
+      linalg::GemmTransposedAInto(delta, batch, layer.out, layer_input.Data(),
+                                  layer.in, /*accumulate=*/true,
+                                  layer.grad_weights.data());
+      for (size_t r = 0; r < batch; ++r) {
+        const double* drow = delta + r * layer.out;
+        for (size_t o = 0; o < layer.out; ++o) layer.grad_bias[o] += drow[o];
+      }
+    }
+    // Gradient w.r.t. the layer input = delta * weights (batch x in). The
+    // first (input) layer only computes it when the caller wants it.
+    const bool first_layer = (li == 1);
+    linalg::Matrix* dst = first_layer ? grad_input : next;
+    if (dst != nullptr) {
+      dst->Reshape(batch, layer.in);
+      linalg::GemmInto(delta, batch, layer.out, layer.weights.data(),
+                       layer.in, /*accumulate=*/false, dst->Data());
+    }
+    if (!first_layer) {
+      grad = next;
+      std::swap(next, spare);
+    }
+  }
+}
+
 std::vector<double> Mlp::Backward(const std::vector<double>& grad_output) {
   assert(!layers_.empty());
   std::vector<double> grad = grad_output;
@@ -132,23 +224,27 @@ void Mlp::AdamStep(double learning_rate, size_t batch_size) {
   const double scale = batch_size > 0 ? 1.0 / static_cast<double>(batch_size) : 1.0;
   const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_step_));
   const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_step_));
+  // Flat restrict-qualified spans so the per-parameter update (the same
+  // expression as before, element by element) vectorizes cleanly.
+  const auto update_span = [&](double* __restrict p, double* __restrict gp,
+                               double* __restrict mp, double* __restrict vp,
+                               size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      const double g = gp[i] * scale;
+      mp[i] = kBeta1 * mp[i] + (1.0 - kBeta1) * g;
+      vp[i] = kBeta2 * vp[i] + (1.0 - kBeta2) * g * g;
+      const double mhat = mp[i] / bias1;
+      const double vhat = vp[i] / bias2;
+      p[i] -= learning_rate * mhat / (std::sqrt(vhat) + kEpsilon);
+    }
+  };
   for (Layer& layer : layers_) {
-    for (size_t i = 0; i < layer.weights.size(); ++i) {
-      const double g = layer.grad_weights[i] * scale;
-      layer.m_weights[i] = kBeta1 * layer.m_weights[i] + (1.0 - kBeta1) * g;
-      layer.v_weights[i] = kBeta2 * layer.v_weights[i] + (1.0 - kBeta2) * g * g;
-      const double mhat = layer.m_weights[i] / bias1;
-      const double vhat = layer.v_weights[i] / bias2;
-      layer.weights[i] -= learning_rate * mhat / (std::sqrt(vhat) + kEpsilon);
-    }
-    for (size_t o = 0; o < layer.out; ++o) {
-      const double g = layer.grad_bias[o] * scale;
-      layer.m_bias[o] = kBeta1 * layer.m_bias[o] + (1.0 - kBeta1) * g;
-      layer.v_bias[o] = kBeta2 * layer.v_bias[o] + (1.0 - kBeta2) * g * g;
-      const double mhat = layer.m_bias[o] / bias1;
-      const double vhat = layer.v_bias[o] / bias2;
-      layer.bias[o] -= learning_rate * mhat / (std::sqrt(vhat) + kEpsilon);
-    }
+    update_span(layer.weights.data(), layer.grad_weights.data(),
+                layer.m_weights.data(), layer.v_weights.data(),
+                layer.weights.size());
+    update_span(layer.bias.data(), layer.grad_bias.data(),
+                layer.m_bias.data(), layer.v_bias.data(), layer.out);
+    layer.weights_t_valid = false;
   }
   ZeroGradients();
 }
@@ -171,6 +267,22 @@ void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
     }
     for (size_t o = 0; o < dst.out; ++o) {
       dst.bias[o] = tau * src.bias[o] + (1.0 - tau) * dst.bias[o];
+    }
+    if (dst.weights_t_valid && src.weights_t_valid) {
+      // The transpose cache is a position permutation of the weights, and
+      // the elementwise soft update commutes with any permutation: updating
+      // the cached transposes directly gives bit-identical contents to
+      // invalidating and re-gathering, while trading a scattered O(in*out)
+      // transpose at the next forward for one streaming pass here. In the
+      // DDPG training loop (soft update every step) this keeps the target
+      // networks' caches permanently warm.
+      double* dt = dst.weights_t.Data();
+      const double* st = src.weights_t.Data();
+      for (size_t i = 0; i < dst.weights.size(); ++i) {
+        dt[i] = tau * st[i] + (1.0 - tau) * dt[i];
+      }
+    } else {
+      dst.weights_t_valid = false;
     }
   }
 }
@@ -198,6 +310,7 @@ void Mlp::LoadParameters(const std::vector<double>& params) {
               params.begin() + static_cast<long>(offset + layer.bias.size()),
               layer.bias.begin());
     offset += layer.bias.size();
+    layer.weights_t_valid = false;
   }
   assert(offset == params.size());
 }

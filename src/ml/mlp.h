@@ -3,6 +3,15 @@
 // Supports forward, backward (returning the gradient w.r.t. the input, which
 // DDPG's actor update needs to pull dQ/da out of the critic), soft target
 // updates, and parameter (de)serialization for the model-reuse schemes (§4).
+//
+// Two training paths exist: the per-sample Forward/Backward pair (the
+// original reference implementation, still used for equivalence checks) and
+// the minibatch ForwardBatch/BackwardBatch pair, which runs each pass as one
+// GEMM over a (batch x dim) matrix with per-layer scratch arenas reused
+// across steps. The batched path is bit-identical to calling the per-sample
+// path row by row: biases are seeded into the pre-activation arena before an
+// accumulate-mode GEMM whose contraction index ascends exactly like the
+// per-sample dot-product loops (see linalg/matrix.h).
 
 #ifndef HUNTER_ML_MLP_H_
 #define HUNTER_ML_MLP_H_
@@ -11,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "linalg/matrix.h"
 
 namespace hunter::ml {
 
@@ -35,6 +45,25 @@ class Mlp {
   // Backpropagates `grad_output` (dLoss/dOutput) through the cached forward
   // pass, accumulating parameter gradients; returns dLoss/dInput.
   std::vector<double> Backward(const std::vector<double>& grad_output);
+
+  // Minibatch forward: `input` is (batch x in), `*output` becomes
+  // (batch x out). Caches per-layer batch activations for BackwardBatch.
+  // Row r of the output is bit-identical to Forward(row r of input).
+  // `input` is borrowed, not copied: it must stay alive and unmodified
+  // until the matching BackwardBatch (which reads it for the first layer's
+  // parameter-gradient GEMM), and must not alias `*output`.
+  void ForwardBatch(const linalg::Matrix& input, linalg::Matrix* output);
+
+  // Minibatch backward through the cached ForwardBatch pass. `grad_output`
+  // is (batch x out); parameter gradients accumulate summed over the batch
+  // in row order (bit-identical to per-sample Backward calls in the same
+  // order). If `grad_input` is non-null it becomes dLoss/dInput
+  // (batch x in). Pass accumulate_param_grads=false when only the input
+  // gradient is wanted (e.g. DDPG's actor update backpropagating through a
+  // frozen critic) — the parameter-gradient GEMMs are skipped entirely.
+  void BackwardBatch(const linalg::Matrix& grad_output,
+                     linalg::Matrix* grad_input,
+                     bool accumulate_param_grads = true);
 
   // Applies one Adam update using the accumulated gradients (scaled by
   // 1/batch_size) and clears them.
@@ -72,6 +101,15 @@ class Mlp {
     std::vector<double> input_cache;
     std::vector<double> pre_activation;
     std::vector<double> output_cache;
+    // Minibatch arenas; allocated on first use, reused every step after.
+    // A layer's input is the previous layer's batch_out (or the Mlp-level
+    // batch_input0_ for the first layer), so no per-layer input copy exists.
+    linalg::Matrix batch_pre;    // batch x out
+    linalg::Matrix batch_out;    // batch x out
+    linalg::Matrix weights_t;    // in x out (transpose for the forward GEMM)
+    // weights_t is rebuilt lazily: parameter mutations flip this flag and
+    // the next ForwardBatch re-gathers the transpose once.
+    bool weights_t_valid = false;
   };
 
   static double Activate(double x, Activation act);
@@ -79,6 +117,14 @@ class Mlp {
 
   std::vector<Layer> layers_;
   size_t adam_step_ = 0;
+  // The last ForwardBatch input, borrowed for the first layer's
+  // parameter-gradient GEMM in BackwardBatch (see the ForwardBatch lifetime
+  // contract) — borrowing skips a (batch x in) copy per forward pass.
+  const linalg::Matrix* batch_input0_ = nullptr;
+  // BackwardBatch scratch (delta and the ping-pong upstream-gradient pair).
+  linalg::Matrix scratch_delta_;
+  linalg::Matrix scratch_grad_a_;
+  linalg::Matrix scratch_grad_b_;
 };
 
 }  // namespace hunter::ml

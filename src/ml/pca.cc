@@ -69,11 +69,29 @@ std::vector<double> Pca::Transform(const std::vector<double>& row,
 
 linalg::Matrix Pca::TransformMatrix(const linalg::Matrix& data,
                                     size_t k) const {
-  linalg::Matrix result(data.rows(), std::min(k, components_.cols()));
+  assert(fitted_);
+  k = std::min(k, components_.cols());
+  const size_t dim = means_.size();
+  assert(data.cols() == dim);
+  // One GEMM over the centered batch instead of a per-row Transform loop;
+  // the contraction order matches Transform's dot products, so the results
+  // are bit-identical (see linalg/matrix.h).
+  linalg::Matrix centered(data.rows(), dim);
   for (size_t r = 0; r < data.rows(); ++r) {
-    const std::vector<double> projected = Transform(data.Row(r), k);
-    for (size_t c = 0; c < projected.size(); ++c) result.At(r, c) = projected[c];
+    for (size_t i = 0; i < dim; ++i) {
+      double value = data.At(r, i) - means_[i];
+      if (standardize_ && stds_[i] > 1e-12) value /= stds_[i];
+      centered.At(r, i) = value;
+    }
   }
+  linalg::Matrix top_components(dim, k);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      top_components.At(i, c) = components_.At(i, c);
+    }
+  }
+  linalg::Matrix result;
+  centered.MultiplyInto(top_components, &result);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/matrix.h"
 #include "ml/cart.h"
 
@@ -27,8 +28,15 @@ struct RandomForestOptions {
 
 class RandomForest {
  public:
+  // Fits the forest. Every tree draws from an RNG forked from `rng` up
+  // front, in tree order, so the result depends only on the incoming RNG
+  // state — with a `pool` the trees fit in parallel and the forest is still
+  // bit-identical to the serial fit, regardless of scheduling (the same
+  // determinism discipline as controller::FaultInjector). Passing nullptr
+  // (or a single-threaded pool) fits serially.
   void Fit(const linalg::Matrix& x, const std::vector<double>& y,
-           const RandomForestOptions& options, common::Rng* rng);
+           const RandomForestOptions& options, common::Rng* rng,
+           common::ThreadPool* pool = nullptr);
 
   double Predict(const std::vector<double>& row) const;
 

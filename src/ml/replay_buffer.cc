@@ -7,16 +7,24 @@ void ReplayBuffer::Add(Transition transition) {
   buffer_.push_back(std::move(transition));
 }
 
+void ReplayBuffer::SampleIndices(size_t batch_size, common::Rng* rng,
+                                 std::vector<size_t>* out) const {
+  out->clear();
+  if (buffer_.empty()) return;
+  out->reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    out->push_back(static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(buffer_.size()) - 1)));
+  }
+}
+
 std::vector<Transition> ReplayBuffer::SampleBatch(size_t batch_size,
                                                   common::Rng* rng) const {
+  std::vector<size_t> indices;
+  SampleIndices(batch_size, rng, &indices);
   std::vector<Transition> batch;
-  if (buffer_.empty()) return batch;
-  batch.reserve(batch_size);
-  for (size_t i = 0; i < batch_size; ++i) {
-    const size_t index = static_cast<size_t>(
-        rng->UniformInt(0, static_cast<int64_t>(buffer_.size()) - 1));
-    batch.push_back(buffer_[index]);
-  }
+  batch.reserve(indices.size());
+  for (const size_t index : indices) batch.push_back(buffer_[index]);
   return batch;
 }
 

@@ -71,13 +71,92 @@ TEST(MatrixTest, AddSubtractScale) {
   EXPECT_DOUBLE_EQ(a.Scale(2.0).At(1, 0), 6.0);
 }
 
+TEST(MatrixTest, MultiplyIntoMatchesMultiply) {
+  Matrix a({{1, 2, 3}, {4, 5, 6}});
+  Matrix b({{7, 8}, {9, 10}, {11, 12}});
+  Matrix out(1, 1);  // wrong shape on purpose — MultiplyInto reshapes
+  a.MultiplyInto(b, &out);
+  const Matrix expected = a.Multiply(b);
+  ASSERT_EQ(out.rows(), expected.rows());
+  ASSERT_EQ(out.cols(), expected.cols());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(out.At(r, c), expected.At(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyPropagatesNanThroughZero) {
+  // The old sparse-skip branch silently turned 0 * NaN into 0; the dense
+  // kernel must propagate it.
+  Matrix a({{0.0, 1.0}});
+  Matrix b({{std::nan(""), 0.0}, {1.0, 1.0}});
+  const Matrix p = a.Multiply(b);
+  EXPECT_TRUE(std::isnan(p.At(0, 0)));
+}
+
+TEST(MatrixTest, TransposedMultiplyInto) {
+  Matrix a({{1, 2}, {3, 4}, {5, 6}});  // 3x2
+  Matrix b({{1, 0, 2}, {0, 1, 3}, {1, 1, 4}});  // 3x3
+  Matrix out;
+  a.TransposedMultiplyInto(b, &out);  // (2x3) = a^T * b
+  const Matrix expected = a.Transpose().Multiply(b);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_NEAR(out.At(r, c), expected.At(r, c), 1e-12);
+    }
+  }
+  // Accumulate mode adds on top of the existing contents.
+  Matrix acc = out;
+  a.TransposedMultiplyInto(b, &acc, /*accumulate=*/true);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_NEAR(acc.At(r, c), 2.0 * expected.At(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, InPlaceOps) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{4, 3}, {2, 1}});
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 5.0);
+  a.ScaleInPlace(2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 10.0);
+  a.Axpy(-1.0, a);  // a += -1 * a == zero
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 0.0);
+}
+
+TEST(MatrixTest, ReshapeAndFill) {
+  Matrix m(2, 3);
+  m.Fill(7.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 7.0);
+  m.Reshape(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  m.Fill(1.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 1.0);
+}
+
 TEST(StatsHelpersTest, ColumnMeansAndStdDevs) {
   Matrix data({{1, 10}, {3, 10}, {5, 10}});
   const auto means = ColumnMeans(data);
   EXPECT_DOUBLE_EQ(means[0], 3.0);
   EXPECT_DOUBLE_EQ(means[1], 10.0);
   const auto stds = ColumnStdDevs(data);
-  EXPECT_NEAR(stds[0], std::sqrt(8.0 / 3.0), 1e-12);
+  // Sample (N-1) standard deviation, consistent with common::Variance:
+  // {1,3,5} has sample variance 8/2 = 4.
+  EXPECT_NEAR(stds[0], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stds[1], 0.0);
+}
+
+TEST(StatsHelpersTest, StdDevsWithFewerThanTwoRowsAreZero) {
+  Matrix one_row({{7.0, -2.0}});
+  const auto stds = ColumnStdDevs(one_row);
+  EXPECT_DOUBLE_EQ(stds[0], 0.0);
   EXPECT_DOUBLE_EQ(stds[1], 0.0);
 }
 

@@ -135,6 +135,51 @@ TEST(DdpgTest, DeterministicGivenSeed) {
   EXPECT_EQ(build_and_train(42), build_and_train(42));
 }
 
+TEST(DdpgTest, BatchedTrainingMatchesScalarTraining) {
+  // Two agents from the same seed, differing only in the batched_training
+  // flag, must track each other to 1e-9: same per-step losses, same final
+  // policy, same parameters.
+  auto make_agent = [](bool batched) {
+    common::Rng rng(7);
+    DdpgOptions options = SmallOptions();
+    options.batched_training = batched;
+    return Ddpg(options, &rng);
+  };
+  Ddpg scalar_agent = make_agent(false);
+  Ddpg batched_agent = make_agent(true);
+  common::Rng data_rng(37);
+  for (int i = 0; i < 120; ++i) {
+    Transition t;
+    t.state = {data_rng.Uniform(), data_rng.Uniform(), data_rng.Uniform()};
+    t.action = {data_rng.Uniform(), data_rng.Uniform()};
+    t.reward = t.action[0] - 0.5 * t.action[1];
+    t.next_state = {data_rng.Uniform(), data_rng.Uniform(),
+                    data_rng.Uniform()};
+    t.terminal = data_rng.Bernoulli(0.1);
+    Transition copy = t;
+    scalar_agent.AddTransition(std::move(t));
+    batched_agent.AddTransition(std::move(copy));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const double scalar_loss = scalar_agent.TrainStep();
+    const double batched_loss = batched_agent.TrainStep();
+    ASSERT_NEAR(scalar_loss, batched_loss, 1e-9) << "step " << i;
+  }
+  const std::vector<double> state = {0.4, 0.1, 0.8};
+  const auto scalar_action = scalar_agent.Act(state);
+  const auto batched_action = batched_agent.Act(state);
+  ASSERT_EQ(scalar_action.size(), batched_action.size());
+  for (size_t i = 0; i < scalar_action.size(); ++i) {
+    EXPECT_NEAR(scalar_action[i], batched_action[i], 1e-9);
+  }
+  const std::vector<double> scalar_params = scalar_agent.SaveParameters();
+  const std::vector<double> batched_params = batched_agent.SaveParameters();
+  ASSERT_EQ(scalar_params.size(), batched_params.size());
+  for (size_t i = 0; i < scalar_params.size(); ++i) {
+    ASSERT_NEAR(scalar_params[i], batched_params[i], 1e-9);
+  }
+}
+
 TEST(ReplayBufferTest, EvictsOldestBeyondCapacity) {
   ReplayBuffer buffer(3);
   for (int i = 0; i < 5; ++i) {
@@ -167,6 +212,31 @@ TEST(ReplayBufferTest, SampleFromEmptyIsEmpty) {
   ReplayBuffer buffer(10);
   common::Rng rng(1);
   EXPECT_TRUE(buffer.SampleBatch(5, &rng).empty());
+  std::vector<size_t> indices = {1, 2, 3};
+  buffer.SampleIndices(5, &rng, &indices);
+  EXPECT_TRUE(indices.empty());
+}
+
+TEST(ReplayBufferTest, SampleIndicesMatchesSampleBatch) {
+  ReplayBuffer buffer(10);
+  for (int i = 0; i < 6; ++i) {
+    Transition t;
+    t.reward = i;
+    buffer.Add(std::move(t));
+  }
+  // Same seed -> SampleIndices and SampleBatch draw the same transitions
+  // (SampleBatch is implemented on top of SampleIndices).
+  common::Rng rng_a(5);
+  common::Rng rng_b(5);
+  std::vector<size_t> indices;
+  buffer.SampleIndices(7, &rng_a, &indices);
+  const auto batch = buffer.SampleBatch(7, &rng_b);
+  ASSERT_EQ(indices.size(), 7u);
+  ASSERT_EQ(batch.size(), 7u);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_LT(indices[i], buffer.size());
+    EXPECT_DOUBLE_EQ(buffer.at(indices[i]).reward, batch[i].reward);
+  }
 }
 
 }  // namespace

@@ -106,6 +106,71 @@ TEST(MlpTest, SaveLoadRoundTrip) {
   EXPECT_EQ(b.SaveParameters(), params);
 }
 
+TEST(MlpTest, ForwardBatchMatchesPerSampleForward) {
+  common::Rng rng(10);
+  Mlp net({5, 12, 7, 3}, Activation::kReLU, Activation::kTanh, &rng);
+  const size_t batch = 9;
+  linalg::Matrix input(batch, 5);
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t c = 0; c < 5; ++c) input.At(r, c) = rng.Uniform(-2.0, 2.0);
+  }
+  linalg::Matrix output;
+  net.ForwardBatch(input, &output);
+  ASSERT_EQ(output.rows(), batch);
+  ASSERT_EQ(output.cols(), 3u);
+  for (size_t r = 0; r < batch; ++r) {
+    const std::vector<double> expected = net.Predict(input.Row(r));
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(output.At(r, c), expected[c], 1e-9)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(MlpTest, BatchedTrainingMatchesPerSampleTraining) {
+  // Two identical networks, one trained per-sample and one batched, must
+  // stay equal (to 1e-9) across several Adam steps — the golden-equivalence
+  // contract the batched DDPG path relies on.
+  common::Rng rng(11);
+  Mlp scalar_net({4, 10, 6, 2}, Activation::kReLU, Activation::kLinear, &rng);
+  Mlp batch_net = scalar_net;
+  const size_t batch = 8;
+  common::Rng data_rng(12);
+  for (int step = 0; step < 25; ++step) {
+    linalg::Matrix input(batch, 4);
+    linalg::Matrix grad(batch, 2);
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t c = 0; c < 4; ++c) input.At(r, c) = data_rng.Uniform(-1, 1);
+      for (size_t c = 0; c < 2; ++c) grad.At(r, c) = data_rng.Uniform(-1, 1);
+    }
+    scalar_net.ZeroGradients();
+    std::vector<std::vector<double>> scalar_grad_in(batch);
+    for (size_t r = 0; r < batch; ++r) {
+      scalar_net.Forward(input.Row(r));
+      scalar_grad_in[r] = scalar_net.Backward(grad.Row(r));
+    }
+    scalar_net.AdamStep(1e-3, batch);
+
+    batch_net.ZeroGradients();
+    linalg::Matrix output, grad_in;
+    batch_net.ForwardBatch(input, &output);
+    batch_net.BackwardBatch(grad, &grad_in);
+    batch_net.AdamStep(1e-3, batch);
+
+    ASSERT_EQ(grad_in.rows(), batch);
+    for (size_t r = 0; r < batch; ++r) {
+      for (size_t c = 0; c < 4; ++c) {
+        ASSERT_NEAR(grad_in.At(r, c), scalar_grad_in[r][c], 1e-9)
+            << "step " << step;
+      }
+    }
+  }
+  const std::vector<double> a = scalar_net.SaveParameters();
+  const std::vector<double> b = batch_net.SaveParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-9);
+}
+
 TEST(MlpTest, ZeroGradientsPreventsAccumulationCarryOver) {
   common::Rng rng(9);
   Mlp net({2, 4, 1}, Activation::kReLU, Activation::kLinear, &rng);
