@@ -60,8 +60,10 @@ int g_time_reps = 1;
 double TimeMs(const std::function<void()>& fn, int iters) {
   double best = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < g_time_reps; ++rep) {
+    // hunterlint: allow(no-wall-clock) perf harness measures real host time
     const auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < iters; ++i) fn();
+    // hunterlint: allow(no-wall-clock) perf harness measures real host time
     const auto stop = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(stop - start).count() /

@@ -16,8 +16,10 @@ namespace hunter::bench {
 namespace {
 
 double MeasureSeconds(const std::function<void()>& fn, int repeats) {
+  // hunterlint: allow(no-wall-clock) Table 1 reports real per-step host time
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < repeats; ++i) fn();
+  // hunterlint: allow(no-wall-clock) Table 1 reports real per-step host time
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count() / repeats;
 }

@@ -9,8 +9,8 @@
 //
 // Examples:
 //   hunter_cli --workload tpcc --clones 4 --budget-hours 12
-//   hunter_cli --workload sysbench_rw --alpha 0.2 \
-//       --fix innodb_flush_log_at_trx_commit=1 \
+//   hunter_cli --workload sysbench_rw --alpha 0.2
+//       --fix innodb_flush_log_at_trx_commit=1
 //       --range innodb_buffer_pool_size=128:8192 --save-model model.txt
 //   hunter_cli --workload sysbench_rw --load-model model.txt  # fine-tune
 

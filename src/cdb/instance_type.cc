@@ -1,14 +1,19 @@
 #include "cdb/instance_type.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 namespace hunter::cdb {
 
 namespace {
 
-InstanceType Make(const char* name, int cores, double ram_gb) {
+InstanceType Make(std::string name, int cores, double ram_gb) {
+  // Takes the name as std::string (not const char*): assigning a string
+  // literal through the char* overload trips GCC 12's -Wrestrict false
+  // positive (PR105329) once inlined, and the CI build is -Werror.
   InstanceType type;
-  type.name = name;
+  type.name = std::move(name);
   type.cpu_cores = cores;
   type.ram_gb = ram_gb;
   // Larger cloud instances get proportionally better provisioned IO,

@@ -17,9 +17,15 @@ std::vector<double> OptimizedSpace::EncodeState(
 std::string OptimizedSpace::Signature() const {
   std::vector<size_t> sorted = selected_knobs;
   std::sort(sorted.begin(), sorted.end());
-  std::string signature = "v" + std::to_string(state_dim) + ":";
+  // Built with += rather than operator+ chains: GCC 12's -Wrestrict issues
+  // a false-positive overlap warning when the temporaries of a + chain are
+  // inlined (PR105329), and the CI build promotes warnings to errors.
+  std::string signature = "v";
+  signature += std::to_string(state_dim);
+  signature += ':';
   for (size_t knob : sorted) {
-    signature += std::to_string(knob) + ",";
+    signature += std::to_string(knob);
+    signature += ',';
   }
   return signature;
 }
@@ -57,11 +63,11 @@ OptimizedSpace SearchSpaceOptimizer::Optimize(
       y[r] = pool[r].fitness;
     }
     ml::RandomForest forest;
-    std::unique_ptr<common::ThreadPool> pool;
+    std::unique_ptr<common::ThreadPool> fit_pool;
     if (options.rf_fit_threads > 1) {
-      pool = std::make_unique<common::ThreadPool>(options.rf_fit_threads);
+      fit_pool = std::make_unique<common::ThreadPool>(options.rf_fit_threads);
     }
-    forest.Fit(x, y, options.forest, rng, pool.get());
+    forest.Fit(x, y, options.forest, rng, fit_pool.get());
     const std::vector<size_t> ranking = forest.RankFeatures();
     const size_t keep = std::min(options.top_knobs, tunable.size());
     space.selected_knobs.reserve(keep);

@@ -227,6 +227,9 @@ TEST(SharedPoolTest, ConcurrentAddBatchBestSnapshotStress) {
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 200;
   std::atomic<int> best_calls{0};
+  // Raw threads are the point here: the test hammers SharedPool from
+  // outside common::ThreadPool to expose races under TSan.
+  // hunterlint: allow(no-naked-thread) stress test needs raw threads
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {

@@ -19,7 +19,8 @@ controller::Sample MakeSample(const std::vector<double>& knobs,
   const double latent_b = knobs[1];
   for (size_t i = 0; i < cdb::kNumMetrics; ++i) {
     const double mix = (i % 2 == 0) ? latent_a : latent_b;
-    sample.metrics[i] = mix * (1.0 + 0.1 * (i % 5)) + 0.01 * rng->Gaussian();
+    sample.metrics[i] =
+        mix * (1.0 + 0.1 * static_cast<double>(i % 5)) + 0.01 * rng->Gaussian();
   }
   sample.throughput_tps = 1000 * (1 + fitness);
   sample.latency_p95_ms = 50;

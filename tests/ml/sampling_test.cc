@@ -88,7 +88,9 @@ TEST(OuNoiseTest, ResetReturnsToMu) {
 TEST(HerTest, AugmentedSizeMatchesOption) {
   common::Rng rng(7);
   std::vector<Transition> transitions(10);
-  for (size_t i = 0; i < 10; ++i) transitions[i].reward = 0.1 * i;
+  for (size_t i = 0; i < 10; ++i) {
+    transitions[i].reward = 0.1 * static_cast<double>(i);
+  }
   HerOptions options;
   options.relabels_per_transition = 3;
   const auto augmented = HerAugment(transitions, options, &rng);
@@ -98,7 +100,9 @@ TEST(HerTest, AugmentedSizeMatchesOption) {
 TEST(HerTest, RelabeledRewardsWithinBounds) {
   common::Rng rng(8);
   std::vector<Transition> transitions(20);
-  for (size_t i = 0; i < 20; ++i) transitions[i].reward = -1.0 + 0.1 * i;
+  for (size_t i = 0; i < 20; ++i) {
+    transitions[i].reward = -1.0 + 0.1 * static_cast<double>(i);
+  }
   const auto augmented = HerAugment(transitions, HerOptions{}, &rng);
   for (size_t i = 20; i < augmented.size(); ++i) {
     EXPECT_GE(augmented[i].reward, -1.0);

@@ -145,8 +145,8 @@ INSTANTIATE_TEST_SUITE_P(
                       workload::SysbenchWriteOnly(), workload::Tpcc(),
                       workload::Production(true),
                       workload::Production(false)),
-    [](const ::testing::TestParamInfo<cdb::WorkloadProfile>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<cdb::WorkloadProfile>& param_info) {
+      std::string name = param_info.param.name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

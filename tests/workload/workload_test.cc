@@ -58,8 +58,8 @@ TEST(TraceTest, GeneratesRequestedShape) {
   ASSERT_EQ(trace.size(), 100u);
   double reads = 0, writes = 0;
   for (const auto& txn : trace) {
-    reads += txn.read_set.size();
-    writes += txn.write_set.size();
+    reads += static_cast<double>(txn.read_set.size());
+    writes += static_cast<double>(txn.write_set.size());
   }
   EXPECT_NEAR(reads / 100, 5.0, 1.0);
   EXPECT_NEAR(writes / 100, 3.0, 1.0);

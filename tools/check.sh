@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Single pre-PR gate for this repository (the "CI configuration"):
+#
+#   1. configure + build with HUNTER_WERROR=ON (-Werror -Wshadow -Wconversion
+#      on top of the always-on -Wall -Wextra)
+#   2. hunterlint over src/ tests/ bench/ examples/
+#   3. the full tier-1 ctest suite (includes the `lint` and `perf` labels)
+#   4. a sanitizer smoke: `ctest -L concurrency` under TSan
+#
+# Run from anywhere: paths are resolved relative to the repo root. Build
+# trees land in build-check/ and build-check-tsan/ (both gitignored).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== [1/4] configure + build (HUNTER_WERROR=ON) =="
+cmake -B build-check -S . -DHUNTER_WERROR=ON
+cmake --build build-check -j "$JOBS"
+
+echo "== [2/4] hunterlint =="
+./build-check/tools/hunterlint/hunterlint --root . src tests bench examples
+
+echo "== [3/4] tier-1 tests =="
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+echo "== [4/4] TSan concurrency smoke =="
+cmake -B build-check-tsan -S . -DHUNTER_SANITIZE=thread
+cmake --build build-check-tsan -j "$JOBS"
+ctest --test-dir build-check-tsan -L concurrency --output-on-failure -j "$JOBS"
+
+echo "check.sh: all gates passed"

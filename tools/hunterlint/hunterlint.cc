@@ -1,0 +1,175 @@
+#include "hunterlint/hunterlint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "hunterlint/lexer.h"
+
+namespace hunter::lint {
+
+namespace {
+
+struct Suppression {
+  std::string rule;
+  int line = 0;         // line the annotation comment starts on
+  bool owns_line = false;
+  bool has_reason = false;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses every `hunterlint: allow(rule) reason` directive out of a comment.
+// Malformed directives (no parenthesized rule) are ignored — they read as
+// prose mentioning hunterlint, not as annotations.
+void ParseAnnotations(const Comment& comment,
+                      std::vector<Suppression>* out) {
+  const std::string kMarker = "hunterlint:";
+  size_t pos = 0;
+  while ((pos = comment.text.find(kMarker, pos)) != std::string::npos) {
+    pos += kMarker.size();
+    size_t cursor = comment.text.find_first_not_of(" \t", pos);
+    if (cursor == std::string::npos ||
+        comment.text.compare(cursor, 5, "allow") != 0) {
+      continue;
+    }
+    cursor = comment.text.find_first_not_of(" \t", cursor + 5);
+    if (cursor == std::string::npos || comment.text[cursor] != '(') continue;
+    const size_t close = comment.text.find(')', cursor);
+    if (close == std::string::npos) continue;
+    Suppression sup;
+    sup.rule = Trim(comment.text.substr(cursor + 1, close - cursor - 1));
+    sup.line = comment.line;
+    sup.owns_line = comment.owns_line;
+    // The reason runs to the end of the comment (or the next directive).
+    size_t reason_end = comment.text.find(kMarker, close);
+    if (reason_end == std::string::npos) reason_end = comment.text.size();
+    sup.has_reason = !Trim(comment.text.substr(close + 1,
+                                               reason_end - close - 1))
+                          .empty();
+    out->push_back(std::move(sup));
+    pos = close;
+  }
+}
+
+bool IsLintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+}  // namespace
+
+std::vector<Violation> LintFile(const std::string& rel_path,
+                                const std::string& source) {
+  const LexedFile lexed = Lex(source);
+
+  FileCtx ctx;
+  ctx.rel_path = rel_path;
+  ctx.lex = &lexed;
+  const size_t dot = rel_path.find_last_of('.');
+  const std::string ext =
+      (dot == std::string::npos) ? "" : rel_path.substr(dot);
+  ctx.is_header = (ext == ".h" || ext == ".hpp");
+
+  std::vector<Violation> raw = RunRules(ctx);
+
+  std::vector<Suppression> sups;
+  for (const Comment& comment : lexed.comments) {
+    ParseAnnotations(comment, &sups);
+  }
+
+  std::vector<Violation> out;
+  for (const Violation& v : raw) {
+    bool suppressed = false;
+    for (const Suppression& sup : sups) {
+      if (sup.rule != v.rule || !sup.has_reason) continue;
+      if (sup.line == v.line || (sup.owns_line && sup.line + 1 == v.line)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(v);
+  }
+
+  // Police the annotations themselves. These meta findings are never
+  // suppressible: an escape hatch only stays trustworthy if every use of
+  // it carries a reviewable reason.
+  for (const Suppression& sup : sups) {
+    if (!IsKnownRule(sup.rule)) {
+      out.push_back({"unknown-rule", rel_path, sup.line,
+                     "hunterlint annotation names unknown rule '" +
+                         sup.rule + "' (see hunterlint --list-rules)"});
+    } else if (!sup.has_reason) {
+      out.push_back({"suppression-needs-reason", rel_path, sup.line,
+                     "hunterlint: allow(" + sup.rule +
+                         ") must be followed by a written reason"});
+    }
+  }
+
+  std::stable_sort(
+      out.begin(), out.end(),
+      [](const Violation& a, const Violation& b) { return a.line < b.line; });
+  return out;
+}
+
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const fs::path root_path(root);
+  for (const std::string& p : paths) {
+    const fs::path abs = fs::path(p).is_absolute() ? fs::path(p)
+                                                   : root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && IsLintableExtension(it->path())) {
+          files.push_back(
+              fs::relative(it->path(), root_path).generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      files.push_back(fs::relative(abs, root_path).generic_string());
+    } else {
+      // Nonexistent input: surface as-is; LintTree reports the IO error.
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Violation> LintTree(const std::string& root,
+                                const std::vector<std::string>& rel_paths) {
+  std::vector<Violation> out;
+  for (const std::string& rel : rel_paths) {
+    const std::filesystem::path abs = std::filesystem::path(root) / rel;
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      out.push_back({"io-error", rel, 0, "cannot open file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Violation> file_violations = LintFile(rel, buf.str());
+    out.insert(out.end(), file_violations.begin(), file_violations.end());
+  }
+  return out;
+}
+
+std::string FormatViolation(const Violation& v) {
+  return v.path + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+         v.message;
+}
+
+}  // namespace hunter::lint

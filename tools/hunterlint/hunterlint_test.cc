@@ -1,0 +1,373 @@
+// Unit and golden-fixture tests for hunterlint.
+//
+// The inline tests pin each rule's firing conditions and the suppression
+// semantics; the fixture tests pin exact (rule, line) pairs against the
+// checked-in files under testdata/ so the whole pipeline (lexer → rules →
+// suppression → reporting) is covered end to end.
+
+#include "hunterlint/hunterlint.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hunterlint/lexer.h"
+#include "hunterlint/rules.h"
+
+namespace hunter::lint {
+namespace {
+
+using RuleLine = std::pair<std::string, int>;
+
+std::vector<RuleLine> RulesAndLines(const std::vector<Violation>& vs) {
+  std::vector<RuleLine> out;
+  out.reserve(vs.size());
+  for (const Violation& v : vs) out.emplace_back(v.rule, v.line);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Lexer
+
+TEST(LexerTest, SkipsStringContentsAndRecordsComments) {
+  const LexedFile lexed = Lex(
+      "int x = 1; // trailing note\n"
+      "const char* s = \"std::thread steady_clock rand()\";\n"
+      "/* block\n   comment */ int y = 2;\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "steady_clock") << "banned names in strings must not "
+                                         "surface as identifier tokens";
+  }
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].text, " trailing note");
+  EXPECT_FALSE(lexed.comments[0].owns_line);
+  EXPECT_EQ(lexed.comments[1].line, 3);
+  EXPECT_TRUE(lexed.comments[1].owns_line);
+}
+
+TEST(LexerTest, CapturesIncludeDirectives) {
+  const LexedFile lexed = Lex(
+      "#include <vector>\n"
+      "#include \"common/rng.h\"\n");
+  ASSERT_EQ(lexed.includes.size(), 2u);
+  EXPECT_EQ(lexed.includes[0].path, "vector");
+  EXPECT_TRUE(lexed.includes[0].angled);
+  EXPECT_EQ(lexed.includes[1].path, "common/rng.h");
+  EXPECT_FALSE(lexed.includes[1].angled);
+  EXPECT_EQ(lexed.includes[1].line, 2);
+}
+
+TEST(LexerTest, KeepsScopeResolutionAsOneToken) {
+  const LexedFile lexed = Lex("a::b c : d\n");
+  std::vector<std::string> texts;
+  for (const Token& t : lexed.tokens) texts.push_back(t.text);
+  EXPECT_EQ(texts, (std::vector<std::string>{"a", "::", "b", "c", ":", "d"}));
+}
+
+// --------------------------------------------------------------------------
+// no-wall-clock
+
+TEST(NoWallClockTest, FlagsClockSourcesAndFreeTimeCalls) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/engine.cc",
+      "#include <chrono>\n"
+      "auto a = std::chrono::steady_clock::now();\n"
+      "auto b = time(nullptr);\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-wall-clock", 2}, {"no-wall-clock", 3}}));
+}
+
+TEST(NoWallClockTest, MemberAndQualifiedTimeCallsAreLegal) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/engine.cc",
+      "double t1 = clock.time();\n"
+      "double t2 = Budget::time(3);\n"
+      "double time = 0.0;\n"
+      "const common::SimClock& clock() const { return clock_; }\n"
+      "double time() override;\n");
+  EXPECT_TRUE(vs.empty()) << FormatViolation(vs.front());
+}
+
+TEST(NoWallClockTest, SimClockItselfIsExempt) {
+  const std::vector<Violation> vs = LintFile(
+      "src/common/sim_clock.h",
+      "#pragma once\n"
+      "// may mention steady_clock semantics in real code\n"
+      "inline double Now() { return static_cast<double>(time(nullptr)); }\n");
+  EXPECT_TRUE(vs.empty()) << FormatViolation(vs.front());
+}
+
+// --------------------------------------------------------------------------
+// no-unseeded-rng
+
+TEST(NoUnseededRngTest, FlagsDeviceRandAndDefaultEngines) {
+  const std::vector<Violation> vs = LintFile(
+      "src/ml/foo.cc",
+      "std::random_device rd;\n"
+      "int r = rand();\n"
+      "std::mt19937 gen;\n"
+      "std::mt19937 temp{};\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"no-unseeded-rng", 1},
+                                                      {"no-unseeded-rng", 2},
+                                                      {"no-unseeded-rng", 3},
+                                                      {"no-unseeded-rng", 4}}));
+}
+
+TEST(NoUnseededRngTest, SeededEnginesAndReferencesAreLegal) {
+  const std::vector<Violation> vs = LintFile(
+      "src/ml/foo.cc",
+      "std::mt19937 gen(seed);\n"
+      "std::mt19937 gen2{seed};\n"
+      "void Mix(std::mt19937& engine);\n"
+      "using Result = std::mt19937::result_type;\n");
+  EXPECT_TRUE(vs.empty()) << FormatViolation(vs.front());
+}
+
+TEST(NoUnseededRngTest, RngModuleIsExempt) {
+  const std::vector<Violation> vs = LintFile(
+      "src/common/rng.cc",
+      "#include \"common/rng.h\"\n"
+      "static std::mt19937 fallback;\n");
+  EXPECT_TRUE(vs.empty()) << FormatViolation(vs.front());
+}
+
+// --------------------------------------------------------------------------
+// no-naked-thread
+
+TEST(NoNakedThreadTest, FlagsThreadAndAsync) {
+  const std::vector<Violation> vs = LintFile(
+      "src/controller/foo.cc",
+      "std::thread t(Work);\n"
+      "auto f = std::async(Work);\n"
+      "std::vector<std::thread> workers;\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"no-naked-thread", 1},
+                                                      {"no-naked-thread", 2},
+                                                      {"no-naked-thread", 3}}));
+}
+
+TEST(NoNakedThreadTest, StaticsAndPoolModuleAreLegal) {
+  EXPECT_TRUE(LintFile("src/controller/foo.cc",
+                       "unsigned n = std::thread::hardware_concurrency();\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/common/thread_pool.cc",
+                       "std::thread t(Work);\n")
+                  .empty());
+}
+
+// --------------------------------------------------------------------------
+// no-unordered-iteration-emit
+
+TEST(NoUnorderedIterationEmitTest, FlagsRangeForInEmittingFile) {
+  const std::vector<Violation> vs = LintFile(
+      "src/common/report.cc",
+      "#include <cstdio>\n"
+      "std::unordered_map<int, double> scores;\n"
+      "void Dump() {\n"
+      "  for (const auto& kv : scores) printf(\"%d\\n\", kv.first);\n"
+      "}\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-unordered-iteration-emit", 4}}));
+}
+
+TEST(NoUnorderedIterationEmitTest, SilentFilesAndOrderedContainersAreLegal) {
+  // Same iteration, but the file never emits: legal.
+  EXPECT_TRUE(LintFile("src/common/quiet.cc",
+                       "std::unordered_map<int, double> scores;\n"
+                       "double Sum() {\n"
+                       "  double s = 0;\n"
+                       "  for (const auto& kv : scores) s += kv.second;\n"
+                       "  return s;\n"
+                       "}\n")
+                  .empty());
+  // Emitting file iterating an ordered container: legal.
+  EXPECT_TRUE(LintFile("src/common/report.cc",
+                       "#include <cstdio>\n"
+                       "std::map<int, double> scores;\n"
+                       "void Dump() {\n"
+                       "  for (const auto& kv : scores) printf(\"x\");\n"
+                       "}\n")
+                  .empty());
+}
+
+TEST(NoUnorderedIterationEmitTest, TracksAliasesThroughUsing) {
+  const std::vector<Violation> vs = LintFile(
+      "src/common/report.cc",
+      "using Index = std::unordered_map<int, int>;\n"
+      "void Dump(const Index& index) {\n"
+      "  for (auto kv : index) std::printf(\"%d\\n\", kv.first);\n"
+      "}\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-unordered-iteration-emit", 3}}));
+}
+
+// --------------------------------------------------------------------------
+// header hygiene
+
+TEST(HeaderHygieneTest, RequiresGuardOnlyInHeaders) {
+  const std::string source = "int Value();\n";
+  EXPECT_EQ(RulesAndLines(LintFile("src/cdb/foo.h", source)),
+            (std::vector<RuleLine>{{"header-guard", 1}}));
+  EXPECT_TRUE(LintFile("src/cdb/foo.cc", source).empty());
+}
+
+TEST(HeaderHygieneTest, AcceptsPragmaOnceAndMatchedGuards) {
+  EXPECT_TRUE(LintFile("src/a.h", "#pragma once\nint V();\n").empty());
+  EXPECT_TRUE(LintFile("src/a.h",
+                       "// comment first is fine\n"
+                       "#ifndef HUNTER_A_H_\n"
+                       "#define HUNTER_A_H_\n"
+                       "#endif\n")
+                  .empty());
+}
+
+TEST(HeaderHygieneTest, FlagsMismatchedGuardDefine) {
+  const std::vector<Violation> vs = LintFile(
+      "src/a.h",
+      "#ifndef HUNTER_A_H_\n"
+      "#define HUNTER_B_H_\n"
+      "#endif\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"header-guard", 2}}));
+}
+
+TEST(HeaderHygieneTest, FlagsUsingNamespaceInHeadersOnly) {
+  const std::string source = "#pragma once\nusing namespace std;\n";
+  EXPECT_EQ(RulesAndLines(LintFile("src/a.h", source)),
+            (std::vector<RuleLine>{{"no-using-namespace-header", 2}}));
+  EXPECT_TRUE(LintFile("src/a.cc", "using namespace std;\n").empty());
+}
+
+TEST(HeaderHygieneTest, IncludeStyle) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <vector>\n"
+      "#include \"common/rng.h\"\n"
+      "#include \"rng.h\"\n"
+      "#include \"../common/rng.h\"\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"include-style", 3},
+                                                      {"include-style", 4}}));
+}
+
+// --------------------------------------------------------------------------
+// suppression semantics
+
+TEST(SuppressionTest, SameLineAndOwnLineFormsSuppress) {
+  EXPECT_TRUE(LintFile("src/a.cc",
+                       "auto t = std::chrono::steady_clock::now();  "
+                       "// hunterlint: allow(no-wall-clock) timer fixture\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/a.cc",
+                       "// hunterlint: allow(no-wall-clock) timer fixture\n"
+                       "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(SuppressionTest, OnlyTheNamedRuleIsSuppressed) {
+  const std::vector<Violation> vs = LintFile(
+      "src/a.cc",
+      "// hunterlint: allow(no-naked-thread) wrong rule for the next line\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-wall-clock", 2}}));
+}
+
+TEST(SuppressionTest, OwnLineFormDoesNotLeakPastOneLine) {
+  const std::vector<Violation> vs = LintFile(
+      "src/a.cc",
+      "// hunterlint: allow(no-wall-clock) only covers the next line\n"
+      "int unrelated = 0;\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-wall-clock", 3}}));
+}
+
+TEST(SuppressionTest, ReasonIsMandatory) {
+  const std::vector<Violation> vs = LintFile(
+      "src/a.cc",
+      "// hunterlint: allow(no-wall-clock)\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"suppression-needs-reason", 1},
+                                   {"no-wall-clock", 2}}));
+}
+
+TEST(SuppressionTest, UnknownRuleNamesAreReported) {
+  const std::vector<Violation> vs = LintFile(
+      "src/a.cc", "// hunterlint: allow(no-wallclock) typo in rule name\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"unknown-rule", 1}}));
+}
+
+// --------------------------------------------------------------------------
+// golden fixtures
+
+std::vector<Violation> LintFixture(const std::string& rel) {
+  return LintTree(HUNTERLINT_TESTDATA_DIR, {rel});
+}
+
+TEST(FixtureTest, WallClock) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/wall_clock.cc")),
+            (std::vector<RuleLine>{{"no-wall-clock", 7},
+                                   {"no-wall-clock", 8},
+                                   {"no-wall-clock", 9}}));
+}
+
+TEST(FixtureTest, UnseededRng) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/unseeded_rng.cc")),
+            (std::vector<RuleLine>{{"no-unseeded-rng", 7},
+                                   {"no-unseeded-rng", 8},
+                                   {"no-unseeded-rng", 12}}));
+}
+
+TEST(FixtureTest, NakedThread) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/naked_thread.cc")),
+            (std::vector<RuleLine>{{"no-naked-thread", 9},
+                                   {"no-naked-thread", 10}}));
+}
+
+TEST(FixtureTest, UnorderedEmit) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/unordered_emit.cc")),
+            (std::vector<RuleLine>{{"no-unordered-iteration-emit", 12}}));
+}
+
+TEST(FixtureTest, BadHeader) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/bad_header.h")),
+            (std::vector<RuleLine>{{"header-guard", 3},
+                                   {"include-style", 3},
+                                   {"no-using-namespace-header", 5}}));
+}
+
+TEST(FixtureTest, BadSuppression) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/bad_suppression.cc")),
+            (std::vector<RuleLine>{{"suppression-needs-reason", 8},
+                                   {"no-wall-clock", 9},
+                                   {"unknown-rule", 11}}));
+}
+
+TEST(FixtureTest, CleanDirectoryIsClean) {
+  const std::vector<std::string> files =
+      CollectFiles(HUNTERLINT_TESTDATA_DIR, {"clean"});
+  ASSERT_EQ(files.size(), 3u);
+  const std::vector<Violation> vs =
+      LintTree(HUNTERLINT_TESTDATA_DIR, files);
+  EXPECT_TRUE(vs.empty()) << FormatViolation(vs.front());
+}
+
+TEST(FixtureTest, CollectFilesIsSortedAndDeduplicated) {
+  const std::vector<std::string> files = CollectFiles(
+      HUNTERLINT_TESTDATA_DIR, {"violations", "clean", "clean"});
+  ASSERT_FALSE(files.empty());
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  EXPECT_EQ(std::adjacent_find(files.begin(), files.end()), files.end());
+}
+
+TEST(FixtureTest, MissingFileReportsIoError) {
+  const std::vector<Violation> vs =
+      LintTree(HUNTERLINT_TESTDATA_DIR, {"does/not/exist.cc"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "io-error");
+}
+
+}  // namespace
+}  // namespace hunter::lint

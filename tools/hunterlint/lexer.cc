@@ -1,0 +1,244 @@
+#include "hunterlint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace hunter::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators we keep as single tokens. Rules only care
+// about a few of these (`::` must not split into two `:` so range-for
+// detection can find the top-level colon), but keeping the common ones
+// intact makes token-window matching less surprising.
+constexpr const char* kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+constexpr const char* kPuncts2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                                    "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                                    "%=", "&=", "|=", "^=", "++", "--", ".*"};
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  size_t line_start = 0;  // offset of the current line's first character
+
+  auto advance_newline = [&](size_t pos) {
+    line++;
+    line_start = pos + 1;
+  };
+
+  auto only_ws_before = [&](size_t pos) {
+    for (size_t k = line_start; k < pos; ++k) {
+      const char c = source[k];
+      if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == '\n') {
+      advance_newline(i);
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Line continuation.
+    if (c == '\\' && i + 1 < n && (source[i + 1] == '\n' ||
+                                   (source[i + 1] == '\r' && i + 2 < n &&
+                                    source[i + 2] == '\n'))) {
+      i += (source[i + 1] == '\n') ? 2 : 3;
+      advance_newline(i - 1);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      Comment comment;
+      comment.line = line;
+      comment.owns_line = only_ws_before(i);
+      i += 2;
+      const size_t start = i;
+      while (i < n && source[i] != '\n') ++i;
+      comment.text = source.substr(start, i - start);
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      Comment comment;
+      comment.line = line;
+      comment.owns_line = only_ws_before(i);
+      i += 2;
+      const size_t start = i;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') advance_newline(i);
+        ++i;
+      }
+      comment.text = source.substr(start, (i + 1 < n ? i : n) - start);
+      i = (i + 1 < n) ? i + 2 : n;
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
+
+    // Preprocessor `#include`: capture the header-name, which does not lex
+    // as a normal token in its angled form.
+    if (c == '#' && only_ws_before(i)) {
+      size_t j = i + 1;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) ++j;
+      size_t d = j;
+      while (d < n && IsIdentChar(source[d])) ++d;
+      const std::string directive = source.substr(j, d - j);
+      out.tokens.push_back({TokKind::kPunct, "#", line});
+      if (!directive.empty()) {
+        out.tokens.push_back({TokKind::kIdentifier, directive, line});
+      }
+      if (directive == "include") {
+        while (d < n && (source[d] == ' ' || source[d] == '\t')) ++d;
+        if (d < n && (source[d] == '"' || source[d] == '<')) {
+          const char close = (source[d] == '"') ? '"' : '>';
+          const size_t path_start = d + 1;
+          size_t e = path_start;
+          while (e < n && source[e] != close && source[e] != '\n') ++e;
+          out.includes.push_back(
+              {line, source.substr(path_start, e - path_start), close == '>'});
+          i = (e < n && source[e] == close) ? e + 1 : e;
+          continue;
+        }
+      }
+      i = d;
+      continue;
+    }
+
+    // String literals (incl. raw strings). Prefix letters (L, u8, R, uR...)
+    // are lexed as part of the preceding identifier; that is fine because we
+    // only need to skip the literal's interior, and an identifier ending in
+    // R directly followed by `"` marks a raw string.
+    if (c == '"') {
+      bool raw = false;
+      if (!out.tokens.empty() &&
+          out.tokens.back().kind == TokKind::kIdentifier) {
+        const std::string& prev = out.tokens.back().text;
+        raw = !prev.empty() && prev.back() == 'R' &&
+              (prev.size() == 1 || prev == "uR" || prev == "UR" ||
+               prev == "LR" || prev == "u8R");
+      }
+      const int string_line = line;
+      if (raw) {
+        size_t j = i + 1;
+        std::string delim;
+        while (j < n && source[j] != '(') delim += source[j++];
+        const std::string closer = ")" + delim + "\"";
+        const size_t body = (j < n) ? j + 1 : n;
+        size_t end = source.find(closer, body);
+        if (end == std::string::npos) end = n;
+        for (size_t k = i; k < end && k < n; ++k) {
+          if (source[k] == '\n') advance_newline(k);
+        }
+        out.tokens.push_back({TokKind::kString,
+                              source.substr(body, end - body), string_line});
+        i = (end == n) ? n : end + closer.size();
+      } else {
+        size_t j = i + 1;
+        while (j < n && source[j] != '"' && source[j] != '\n') {
+          if (source[j] == '\\' && j + 1 < n) ++j;
+          ++j;
+        }
+        out.tokens.push_back(
+            {TokKind::kString, source.substr(i + 1, j - i - 1), string_line});
+        i = (j < n && source[j] == '"') ? j + 1 : j;
+      }
+      continue;
+    }
+    if (c == '\'' && !(i > 0 && std::isdigit(static_cast<unsigned char>(
+                                    source[i - 1])))) {
+      // Digit separators (1'000'000) are consumed by the number lexer; a
+      // quote after a digit outside a number is rare enough to ignore.
+      size_t j = i + 1;
+      while (j < n && source[j] != '\'' && source[j] != '\n') {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      out.tokens.push_back(
+          {TokKind::kCharLit, source.substr(i + 1, j - i - 1), line});
+      i = (j < n && source[j] == '\'') ? j + 1 : j;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::kIdentifier, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      // pp-number: digits, identifier chars, '.', digit separators, and
+      // sign characters following an exponent letter.
+      size_t j = i;
+      while (j < n) {
+        const char d = source[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < n &&
+                   std::isalnum(static_cast<unsigned char>(source[j + 1]))) {
+          j += 2;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                    source[j - 1] == 'p' || source[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation: longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts3) {
+      if (source.compare(i, 3, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPuncts2) {
+      if (source.compare(i, 2, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+
+  return out;
+}
+
+}  // namespace hunter::lint

@@ -1,0 +1,58 @@
+// Minimal C++ lexer for hunterlint.
+//
+// hunterlint does not need a full C++ front end: every project invariant it
+// enforces is visible at the token level (banned identifiers in call
+// position, qualified names, declaration shapes, preprocessor directives).
+// The lexer therefore produces a flat token stream with line numbers,
+// skipping the interiors of string/char literals (so banned names inside
+// test fixtures' string literals never fire) while recording comments
+// separately so the suppression syntax (`// hunterlint: allow(rule) reason`)
+// can be matched against violations, and `#include` directives specially so
+// the include-style rule sees the raw header-name spelling.
+
+#ifndef HUNTER_TOOLS_HUNTERLINT_LEXER_H_
+#define HUNTER_TOOLS_HUNTERLINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace hunter::lint {
+
+enum class TokKind {
+  kIdentifier,  // [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      // pp-number (123, 0x1F, 1.5e-3, ...)
+  kString,      // "..." or R"(...)" (text is the literal's *contents*)
+  kCharLit,     // '...'
+  kPunct,       // operators and punctuation; multi-char ops kept together
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 0;       // 1-based line where the comment starts
+  std::string text;   // contents, without the // or /* */ markers
+  bool owns_line = false;  // only whitespace precedes it on its line
+};
+
+struct IncludeDirective {
+  int line = 0;
+  std::string path;  // header-name without the quotes / angle brackets
+  bool angled = false;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+// Tokenizes `source`. Never fails: malformed input degrades to punct tokens.
+LexedFile Lex(const std::string& source);
+
+}  // namespace hunter::lint
+
+#endif  // HUNTER_TOOLS_HUNTERLINT_LEXER_H_

@@ -1,0 +1,20 @@
+// Fixture: a header obeying every hunterlint header-hygiene rule.
+
+#ifndef HUNTER_TOOLS_HUNTERLINT_TESTDATA_CLEAN_CLEAN_HEADER_H_
+#define HUNTER_TOOLS_HUNTERLINT_TESTDATA_CLEAN_CLEAN_HEADER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hunter::lint_fixture {
+
+inline double Sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double value : values) total += value;
+  return total;
+}
+
+}  // namespace hunter::lint_fixture
+
+#endif  // HUNTER_TOOLS_HUNTERLINT_TESTDATA_CLEAN_CLEAN_HEADER_H_

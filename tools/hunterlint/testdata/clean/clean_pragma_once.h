@@ -1,0 +1,11 @@
+// Fixture: #pragma once is the other accepted header-guard spelling.
+
+#pragma once
+
+#include <cstddef>
+
+namespace hunter::lint_fixture {
+
+inline size_t Doubled(size_t n) { return 2 * n; }
+
+}  // namespace hunter::lint_fixture

@@ -1,0 +1,12 @@
+// Fixture: a file that uses banned constructs only behind well-formed
+// suppressions (both the preceding-own-line and same-line forms), so the
+// linter must report it clean.
+#include <chrono>
+
+double TimeBlockMs() {
+  // hunterlint: allow(no-wall-clock) fixture exercises the own-line form
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop =
+      std::chrono::steady_clock::now();  // hunterlint: allow(no-wall-clock) fixture exercises the same-line form
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}

@@ -1,0 +1,7 @@
+// Fixture: header-hygiene violations (no guard, namespace injection,
+// directory-less include). Line numbers pinned by hunterlint_test.cc.
+#include "strings.h"
+
+using namespace std;
+
+inline int Twice(int x) { return x * 2; }

@@ -1,0 +1,14 @@
+// Fixture: suppression-mechanism misuse. A reason-less allow() must NOT
+// suppress the line below it and must itself be reported; an allow()
+// naming a nonexistent rule must be reported too. Line numbers are pinned
+// by hunterlint_test.cc — edit with care.
+#include <chrono>
+
+void Probe() {
+  // hunterlint: allow(no-wall-clock)
+  const auto t = std::chrono::steady_clock::now();  // line 9: NOT suppressed
+  (void)t;
+  // hunterlint: allow(not-a-real-rule) misspelled rule names must not pass
+  const int x = 0;
+  (void)x;
+}

@@ -1,0 +1,14 @@
+// Fixture: rogue execution agents that must be flagged by no-naked-thread.
+// Line numbers are pinned by hunterlint_test.cc — edit with care.
+#include <future>
+#include <thread>
+
+int Work();
+
+void RunDetached() {
+  std::thread worker(Work);                             // line 9
+  auto future = std::async(std::launch::async, Work);   // line 10
+  worker.join();
+  future.get();
+  (void)std::thread::hardware_concurrency();  // fine: queries, never spawns
+}

@@ -1,0 +1,21 @@
+// Fixture: nondeterministic iteration order reaching ordered output; must
+// be flagged by no-unordered-iteration-emit.
+// Line numbers are pinned by hunterlint_test.cc — edit with care.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using ScoreTable = std::unordered_map<std::string, double>;
+
+void DumpScores(const ScoreTable& scores) {
+  for (const auto& [name, score] : scores) {  // line 12: unordered order
+    std::printf("%s %.3f\n", name.c_str(), score);
+  }
+}
+
+void DumpSorted(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {  // fine: vector order is stable
+    std::printf("%s\n", name.c_str());
+  }
+}

@@ -1,0 +1,13 @@
+// Fixture: unseeded randomness that must be flagged by no-unseeded-rng.
+// Line numbers are pinned by hunterlint_test.cc — edit with care.
+#include <cstdlib>
+#include <random>
+
+int RollDice() {
+  std::random_device rd;       // line 7: nondeterministic seed source
+  std::mt19937 unseeded;       // line 8: default-constructed engine
+  std::mt19937 seeded(42);     // fine: explicitly seeded, not flagged
+  (void)unseeded;
+  (void)seeded;
+  return std::rand() % 6 + static_cast<int>(rd() % 2);  // line 12: rand()
+}

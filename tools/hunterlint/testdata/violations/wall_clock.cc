@@ -1,0 +1,13 @@
+// Fixture: wall-clock sources that must be flagged by no-wall-clock.
+// Line numbers are pinned by hunterlint_test.cc — edit with care.
+#include <chrono>
+#include <ctime>
+
+double SampleWallClock() {
+  const auto a = std::chrono::steady_clock::now();  // line 7
+  const auto b = std::chrono::system_clock::now();  // line 8
+  const std::time_t t = std::time(nullptr);         // line 9
+  (void)a;
+  (void)b;
+  return static_cast<double>(t) + std::chrono::duration<double>(a - b).count();
+}
