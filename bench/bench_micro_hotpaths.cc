@@ -23,15 +23,19 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <limits>
+#include <locale>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/text.h"
 #include "common/thread_pool.h"
 #include "linalg/matrix.h"
 #include "ml/cart.h"
@@ -836,42 +840,52 @@ void BenchPca(bool smoke) {
 
 // ---------------------------------------------------------------------------
 
+// Scientific notation with `digits` fractional digits, classic locale
+// (fprintf "%e" would follow the process locale's decimal separator).
+std::string FormatScientific(double value, int digits) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.setf(std::ios::scientific, std::ios::floatfield);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
 void WriteJson(const std::string& path, bool smoke) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"hunter-bench-hotpaths-v1\",\n");
-  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "  \"benchmarks\": [\n");
+  hunter::common::ScopedClassicLocale pin(f);
+  f << "{\n";
+  f << "  \"schema\": \"hunter-bench-hotpaths-v1\",\n";
+  f << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  f << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+    << ",\n";
+  f << "  \"benchmarks\": [\n";
   for (size_t i = 0; i < g_benches.size(); ++i) {
     const BenchResult& b = g_benches[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"config\": \"%s\", "
-                 "\"baseline_ms\": %.6f, \"optimized_ms\": %.6f, "
-                 "\"speedup\": %.3f}%s\n",
-                 b.name.c_str(), b.config.c_str(), b.baseline_ms,
-                 b.optimized_ms, b.Speedup(),
-                 i + 1 < g_benches.size() ? "," : "");
+    f << "    {\"name\": \"" << b.name << "\", \"config\": \"" << b.config
+      << "\", \"baseline_ms\": "
+      << hunter::common::FormatDoubleFixed(b.baseline_ms, 6)
+      << ", \"optimized_ms\": "
+      << hunter::common::FormatDoubleFixed(b.optimized_ms, 6)
+      << ", \"speedup\": " << hunter::common::FormatDoubleFixed(b.Speedup(), 3)
+      << "}" << (i + 1 < g_benches.size() ? "," : "") << "\n";
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"equivalence\": [\n");
+  f << "  ],\n";
+  f << "  \"equivalence\": [\n";
   for (size_t i = 0; i < g_equivs.size(); ++i) {
     const EquivResult& e = g_equivs[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"max_abs_diff\": %.3e, "
-                 "\"tolerance\": %.0e, \"pass\": %s}%s\n",
-                 e.name.c_str(), e.max_abs_diff, e.tolerance,
-                 e.Pass() ? "true" : "false",
-                 i + 1 < g_equivs.size() ? "," : "");
+    f << "    {\"name\": \"" << e.name
+      << "\", \"max_abs_diff\": " << FormatScientific(e.max_abs_diff, 3)
+      << ", \"tolerance\": " << FormatScientific(e.tolerance, 0)
+      << ", \"pass\": " << (e.Pass() ? "true" : "false") << "}"
+      << (i + 1 < g_equivs.size() ? "," : "") << "\n";
   }
-  std::fprintf(f, "  ]\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  f << "  ]\n";
+  f << "}\n";
 }
 
 }  // namespace

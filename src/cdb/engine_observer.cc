@@ -1,0 +1,47 @@
+#include "cdb/engine_observer.h"
+
+#include <string>
+
+#include "cdb/metric_catalog.h"
+
+namespace hunter::cdb {
+namespace {
+
+size_t IndexOf(const std::string& name) {
+  const std::vector<std::string>& names = MetricNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  return names.size();  // out of range; Record() skips it defensively
+}
+
+}  // namespace
+
+EngineMetrics::EngineMetrics(obs::MetricsRegistry* registry)
+    : hit_ratio_(registry->RegisterHistogram("engine.buffer_pool_hit_ratio")),
+      group_commit_size_(
+          registry->RegisterHistogram("engine.wal_group_commit_size")),
+      deadlocks_(registry->RegisterCounter("engine.deadlocks")),
+      hit_ratio_index_(IndexOf("buffer_pool_hit_ratio")),
+      log_writes_index_(IndexOf("log_writes")),
+      trx_commits_index_(IndexOf("trx_commits")),
+      deadlocks_index_(IndexOf("lock_deadlocks")) {}
+
+void EngineMetrics::Record(const std::vector<double>& metrics) {
+  if (hit_ratio_index_ < metrics.size()) {
+    hit_ratio_->Observe(metrics[hit_ratio_index_]);
+  }
+  // Commits per physical log write approximates the WAL group-commit batch
+  // size; a sample with no log writes has no batches to report.
+  if (log_writes_index_ < metrics.size() &&
+      trx_commits_index_ < metrics.size() &&
+      metrics[log_writes_index_] > 0.0) {
+    group_commit_size_->Observe(metrics[trx_commits_index_] /
+                                metrics[log_writes_index_]);
+  }
+  if (deadlocks_index_ < metrics.size()) {
+    deadlocks_->Increment(metrics[deadlocks_index_]);
+  }
+}
+
+}  // namespace hunter::cdb

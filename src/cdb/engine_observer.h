@@ -1,0 +1,36 @@
+// Engine-level metrics for the observability layer: distils each collected
+// 63-metric sample into the registry series the journal snapshots (buffer
+// pool hit rate, WAL group-commit size, deadlock count).
+
+#ifndef HUNTER_CDB_ENGINE_OBSERVER_H_
+#define HUNTER_CDB_ENGINE_OBSERVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hunter::cdb {
+
+class EngineMetrics {
+ public:
+  explicit EngineMetrics(obs::MetricsRegistry* registry);
+
+  // Records one collected sample (a 63-metric vector in MetricNames()
+  // order). Call in a deterministic order — the Controller feeds lanes in
+  // lane-index order after each round.
+  void Record(const std::vector<double>& metrics);
+
+ private:
+  obs::Histogram* hit_ratio_;
+  obs::Histogram* group_commit_size_;
+  obs::Counter* deadlocks_;
+  size_t hit_ratio_index_;
+  size_t log_writes_index_;
+  size_t trx_commits_index_;
+  size_t deadlocks_index_;
+};
+
+}  // namespace hunter::cdb
+
+#endif  // HUNTER_CDB_ENGINE_OBSERVER_H_

@@ -5,6 +5,7 @@
 #define HUNTER_COMMON_STATS_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace hunter::common {
@@ -36,8 +37,17 @@ class RunningStat {
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
+  // Extrema of the observed values. Before any Add() there is no
+  // observation to report, so the empty case is explicit: NaN, never a
+  // fabricated 0.0 that could masquerade as a real sample in metric
+  // snapshots. Callers that need a sentinel-free API should guard on
+  // count() first.
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
 
  private:
   size_t count_ = 0;

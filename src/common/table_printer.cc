@@ -1,7 +1,8 @@
 #include "common/table_printer.h"
 
 #include <algorithm>
-#include <cstdio>
+
+#include "common/text.h"
 
 namespace hunter::common {
 
@@ -39,9 +40,9 @@ void TablePrinter::Print(std::ostream& os) const {
 }
 
 std::string FormatDouble(double value, int digits) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
-  return buffer;
+  // snprintf("%.*f") obeys the process locale (decimal comma and all); the
+  // classic-locale stream helper keeps table output byte-stable everywhere.
+  return FormatDoubleFixed(value, digits);
 }
 
 }  // namespace hunter::common

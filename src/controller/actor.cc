@@ -17,8 +17,12 @@ Actor::AttemptOutcome Actor::Attempt(const std::vector<double>& normalized,
 
   if (injector_ != nullptr && injector_->DiesPermanently(clone_id_, op)) {
     // The clone is unrecoverable (host loss). It gets partway into the run
-    // before the loss is detected; the Controller replaces it.
+    // before the loss is detected; the Controller replaces it. The attempt
+    // still performed a (now aborted) deployment before dying — charge it
+    // like the transient-failure path does, or the episode undercounts by a
+    // restart (a missed charge the journal's clock-partition check caught).
     out.status = AttemptStatus::kPermanentDeath;
+    out.timing.deploy_seconds = cdb::CdbInstance::kRestartDeploySeconds;
     out.timing.execution_seconds =
         injector_->CrashFraction(clone_id_, op) * kExecutionSeconds;
     return out;

@@ -4,10 +4,26 @@
 #include <cmath>
 #include <deque>
 #include <future>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "common/text.h"
+
 namespace hunter::controller {
+namespace {
+
+// One component of a lane's cost in a stress round, staged for emission:
+// the critical lane's components are charged to the clock in order, the
+// other lanes' become uncharged detail spans stacked from the round start.
+struct LaneCharge {
+  std::string stage;
+  std::string name;
+  double seconds = 0.0;
+  std::vector<obs::Attr> attrs;
+};
+
+}  // namespace
 
 Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
                        cdb::WorkloadProfile workload,
@@ -15,7 +31,13 @@ Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
     : user_instance_(std::move(user_instance)),
       workload_(std::move(workload)),
       options_(options),
-      injector_(options.faults) {
+      injector_(options.faults),
+      journal_(&clock_, &metrics_registry_,
+               {{"seed", std::to_string(options.seed)},
+                {"num_clones",
+                 std::to_string(std::max(1, options.num_clones))},
+                {"alpha", common::FormatDouble17(options.alpha)}}),
+      engine_metrics_(&metrics_registry_) {
   const int clones = std::max(1, options.num_clones);
   const common::FaultInjector* injector =
       injector_.enabled() ? &injector_ : nullptr;
@@ -33,6 +55,26 @@ Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
     }
     pool_ = std::make_unique<common::ThreadPool>(threads);
   }
+
+  // Registration order is the journal's metric schema: engine series first
+  // (registered by engine_metrics_ above), then the controller's.
+  rounds_counter_ = metrics_registry_.RegisterCounter("controller.rounds");
+  attempts_counter_ = metrics_registry_.RegisterCounter("controller.attempts");
+  retries_counter_ = metrics_registry_.RegisterCounter("controller.retries");
+  transient_failures_counter_ =
+      metrics_registry_.RegisterCounter("controller.transient_deploy_failures");
+  crashes_counter_ = metrics_registry_.RegisterCounter("controller.crashes");
+  straggler_counter_ =
+      metrics_registry_.RegisterCounter("controller.straggler_timeouts");
+  permanent_deaths_counter_ =
+      metrics_registry_.RegisterCounter("controller.permanent_deaths");
+  reclones_counter_ = metrics_registry_.RegisterCounter("controller.reclones");
+  failed_samples_counter_ =
+      metrics_registry_.RegisterCounter("controller.failed_samples");
+  round_seconds_hist_ =
+      metrics_registry_.RegisterHistogram("controller.round_seconds");
+  clone_utilization_hist_ =
+      metrics_registry_.RegisterHistogram("controller.clone_utilization");
 }
 
 const cdb::PerformanceSummary& Controller::DefaultPerformance() {
@@ -42,11 +84,23 @@ const cdb::PerformanceSummary& Controller::DefaultPerformance() {
         workload_, options_.default_repeats, &deploy_seconds);
     // Resetting the clone to the default configuration is real work (a
     // deploy, possibly a restart) and must hit the Table-1 accounting too.
-    clock_.Advance(deploy_seconds +
-                   options_.default_repeats * Actor::kExecutionSeconds);
+    // Each measurement run pays execution plus metric collection — the
+    // collection term used to be dropped here (while EvaluateBatch charged
+    // it), silently undercounting the baseline.
+    obs::Tracer& tracer = journal_.tracer();
+    tracer.Charge("deploy", "baseline_reset", deploy_seconds);
+    tracer.Charge("execution", "baseline_runs",
+                  options_.default_repeats * Actor::kExecutionSeconds,
+                  {{"repeats", std::to_string(options_.default_repeats)}});
+    tracer.Charge("collection", "baseline_collect",
+                  options_.default_repeats * Actor::kCollectionSeconds);
     defaults_measured_ = true;
   }
   return default_performance_;
+}
+
+void Controller::ChargeModelTime(double seconds) {
+  journal_.tracer().Charge("model_update", "model_step", seconds);
 }
 
 void Controller::ReplaceActor(size_t lane) {
@@ -55,6 +109,7 @@ void Controller::ReplaceActor(size_t lane) {
   actors_[lane] = std::make_unique<Actor>(
       user_instance_->Clone(), options_.alpha, next_clone_id_++, injector);
   ++fault_stats_.reclones;
+  reclones_counter_->Increment();
 }
 
 void Controller::MarkEvaluationFailed(Sample* sample,
@@ -75,6 +130,7 @@ std::vector<Sample> Controller::EvaluateBatch(
     const std::vector<std::vector<double>>& normalized_configs) {
   const cdb::PerformanceSummary& defaults = DefaultPerformance();
   std::vector<Sample> samples(normalized_configs.size());
+  obs::Tracer& tracer = journal_.tracer();
 
   std::deque<WorkItem> queue;
   for (size_t i = 0; i < normalized_configs.size(); ++i) {
@@ -86,6 +142,11 @@ std::vector<Sample> Controller::EvaluateBatch(
     std::vector<WorkItem> items(queue.begin(),
                                 queue.begin() + static_cast<long>(lanes));
     queue.erase(queue.begin(), queue.begin() + static_cast<long>(lanes));
+
+    // The lane names key on the clone that ran the attempt; capture before
+    // any permanent death swaps the actor out.
+    std::vector<int> clone_ids(lanes);
+    for (size_t l = 0; l < lanes; ++l) clone_ids[l] = actors_[l]->clone_id();
 
     std::vector<Actor::AttemptOutcome> outcomes(lanes);
     if (pool_ != nullptr) {
@@ -111,15 +172,34 @@ std::vector<Sample> Controller::EvaluateBatch(
 
     // The round costs as much as its slowest lane (all clones run in
     // parallel); each lane additionally pays its item's backoff and any
-    // recovery/replacement work it triggered.
+    // recovery/replacement work it triggered. Each lane's cost is built as
+    // an ordered list of components so the journal can attribute every
+    // second to a Table-1 stage.
+    std::vector<std::vector<LaneCharge>> lane_charges(lanes);
+    std::vector<double> lane_totals(lanes, 0.0);
     double round_seconds = 0.0;
     for (size_t l = 0; l < lanes; ++l) {
       const WorkItem& item = items[l];
       Actor::AttemptOutcome& out = outcomes[l];
-      double lane_seconds = item.backoff_seconds;
+      const std::string lane_name = "clone" + std::to_string(clone_ids[l]);
+      const std::vector<obs::Attr> span_attrs = {
+          {"config", std::to_string(item.index)},
+          {"attempt", std::to_string(item.attempt + 1)}};
+      auto add = [&](const char* stage, const std::string& suffix,
+                     double seconds) {
+        if (seconds <= 0.0) return;
+        lane_charges[l].push_back(
+            {stage, lane_name + suffix, seconds, span_attrs});
+      };
+      auto fault_event = [&](const char* name) {
+        std::vector<obs::Attr> attrs = span_attrs;
+        attrs.insert(attrs.begin(), {"clone", std::to_string(clone_ids[l])});
+        tracer.Event(name, std::move(attrs));
+      };
+      add("backoff", "_backoff", item.backoff_seconds);
+
       bool requeue = false;
       int next_attempt = item.attempt;
-
       switch (out.status) {
         case Actor::AttemptStatus::kOk: {
           const bool timed_out =
@@ -130,28 +210,40 @@ std::vector<Sample> Controller::EvaluateBatch(
           if (timed_out) {
             // Cancel at the timeout and requeue onto whichever clone is
             // free next round; the abandoned run cost deploy + timeout.
-            lane_seconds += out.timing.deploy_seconds +
-                            options_.straggler_timeout_seconds;
+            add("deploy", "_deploy", out.timing.deploy_seconds);
+            add("execution", "_stress_cancelled",
+                options_.straggler_timeout_seconds);
             ++fault_stats_.straggler_timeouts;
+            straggler_counter_->Increment();
+            fault_event("straggler_timeout");
             requeue = true;
             next_attempt = item.attempt + 1;
           } else {
-            lane_seconds += out.timing.total();
+            add("deploy", "_deploy", out.timing.deploy_seconds);
+            add("execution", "_stress", out.timing.execution_seconds);
+            add("collection", "_collect", out.timing.collection_seconds);
             out.sample.attempts = item.attempt + 1;
+            if (!out.sample.boot_failed) {
+              engine_metrics_.Record(out.sample.metrics);
+            }
             samples[item.index] = std::move(out.sample);
           }
           break;
         }
         case Actor::AttemptStatus::kBootFailure: {
           // Deterministic property of the configuration: never retried.
-          lane_seconds += out.timing.total();
+          add("deploy", "_deploy", out.timing.deploy_seconds);
+          add("execution", "_stress", out.timing.execution_seconds);
+          add("collection", "_collect", out.timing.collection_seconds);
           out.sample.attempts = item.attempt + 1;
           samples[item.index] = std::move(out.sample);
           break;
         }
         case Actor::AttemptStatus::kTransientDeployFailure: {
-          lane_seconds += out.timing.total();
+          add("deploy", "_deploy_aborted", out.timing.deploy_seconds);
           ++fault_stats_.transient_deploy_failures;
+          transient_failures_counter_->Increment();
+          fault_event("transient_deploy_failure");
           if (item.attempt < options_.max_retries) {
             requeue = true;
             next_attempt = item.attempt + 1;
@@ -160,12 +252,17 @@ std::vector<Sample> Controller::EvaluateBatch(
                                  normalized_configs[item.index],
                                  item.attempt + 1);
             ++fault_stats_.failed_samples;
+            failed_samples_counter_->Increment();
           }
           break;
         }
         case Actor::AttemptStatus::kCrash: {
-          lane_seconds += out.timing.total() + options_.crash_recovery_seconds;
+          add("deploy", "_deploy", out.timing.deploy_seconds);
+          add("execution", "_stress_crashed", out.timing.execution_seconds);
+          add("recovery", "_crash_recovery", options_.crash_recovery_seconds);
           ++fault_stats_.crashes;
+          crashes_counter_->Increment();
+          fault_event("crash");
           // The recovery restart comes back with a cold buffer pool.
           actors_[l]->instance().PointInTimeRecover();
           if (item.attempt < options_.max_retries) {
@@ -176,13 +273,19 @@ std::vector<Sample> Controller::EvaluateBatch(
                                  normalized_configs[item.index],
                                  item.attempt + 1);
             ++fault_stats_.failed_samples;
+            failed_samples_counter_->Increment();
           }
           break;
         }
         case Actor::AttemptStatus::kPermanentDeath: {
-          lane_seconds += out.timing.total() + options_.reclone_seconds;
+          add("deploy", "_deploy_aborted", out.timing.deploy_seconds);
+          add("execution", "_stress_lost", out.timing.execution_seconds);
+          add("recovery", "_reclone", options_.reclone_seconds);
           ++fault_stats_.permanent_deaths;
+          permanent_deaths_counter_->Increment();
+          fault_event("permanent_death");
           ReplaceActor(l);
+          fault_event("reclone");
           // The clone died, not the configuration: re-dispatch without
           // burning the item's retry budget or backing off.
           requeue = true;
@@ -192,6 +295,7 @@ std::vector<Sample> Controller::EvaluateBatch(
 
       if (requeue) {
         ++fault_stats_.retries;
+        retries_counter_->Increment();
         double backoff = 0.0;
         if (next_attempt > item.attempt) {
           backoff = options_.retry_backoff_seconds *
@@ -199,11 +303,50 @@ std::vector<Sample> Controller::EvaluateBatch(
         }
         queue.push_back(WorkItem{item.index, next_attempt, backoff});
       }
+      double lane_seconds = 0.0;
+      for (const LaneCharge& c : lane_charges[l]) lane_seconds += c.seconds;
+      lane_totals[l] = lane_seconds;
       round_seconds = std::max(round_seconds, lane_seconds);
     }
-    clock_.Advance(round_seconds);
+
+    // Charge the critical lane (the first slowest one) component by
+    // component — the same left-to-right fold that produced lane_totals, so
+    // the clock advances by exactly round_seconds and the journal's charged
+    // spans stay a bit-exact partition of the clock. The other lanes ran
+    // concurrently inside the same window: uncharged detail spans.
+    size_t critical = 0;
+    for (size_t l = 0; l < lanes; ++l) {
+      if (lane_totals[l] == round_seconds) {
+        critical = l;
+        break;
+      }
+    }
+    const double round_start = clock_.seconds();
+    for (size_t l = 0; l < lanes; ++l) {
+      if (l == critical) {
+        for (const LaneCharge& c : lane_charges[l]) {
+          tracer.Charge(c.stage, c.name, c.seconds, c.attrs);
+        }
+      } else {
+        double t = round_start;
+        for (const LaneCharge& c : lane_charges[l]) {
+          tracer.Span(c.stage, c.name, t, c.seconds, c.attrs);
+          t += c.seconds;
+        }
+      }
+    }
     total_stress_tests_ += lanes;
+    rounds_counter_->Increment();
+    attempts_counter_->Increment(static_cast<double>(lanes));
+    round_seconds_hist_->Observe(round_seconds);
+    if (round_seconds > 0.0) {
+      double busy = 0.0;
+      for (size_t l = 0; l < lanes; ++l) busy += lane_totals[l];
+      clone_utilization_hist_->Observe(
+          busy / (static_cast<double>(lanes) * round_seconds));
+    }
   }
+  journal_.SnapshotMetrics("batch" + std::to_string(batch_serial_++));
   return samples;
 }
 
@@ -212,7 +355,7 @@ void Controller::DeployToUser(const std::vector<double>& normalized) {
       catalog().DenormalizeConfiguration(normalized);
   const cdb::DeployOutcome outcome =
       user_instance_->DeployConfiguration(config);
-  clock_.Advance(outcome.deploy_seconds);
+  journal_.tracer().Charge("deploy", "deploy_to_user", outcome.deploy_seconds);
 }
 
 void Controller::SetWorkload(cdb::WorkloadProfile workload) {

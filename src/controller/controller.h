@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cdb/cdb_instance.h"
+#include "cdb/engine_observer.h"
 #include "cdb/fitness.h"
 #include "cdb/knob.h"
 #include "cdb/workload_profile.h"
@@ -27,6 +28,8 @@
 #include "common/thread_pool.h"
 #include "controller/actor.h"
 #include "controller/sample.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 
 namespace hunter::controller {
 
@@ -93,7 +96,7 @@ class Controller {
       const std::vector<std::vector<double>>& normalized_configs);
 
   // Charges tuner-side time (model update + recommendation, Table 1).
-  void ChargeModelTime(double seconds) { clock_.Advance(seconds); }
+  void ChargeModelTime(double seconds);
 
   // Deploys a configuration on the *user's* instance (end of workflow).
   void DeployToUser(const std::vector<double>& normalized);
@@ -115,6 +118,14 @@ class Controller {
   size_t pool_threads() const {
     return pool_ != nullptr ? pool_->num_threads() : 0;
   }
+
+  // Observability. Every simulated-clock advance goes through the journal's
+  // tracer, so the journal's charged spans partition clock().seconds()
+  // exactly (DESIGN.md §10); the registry carries engine/controller/tuner
+  // metric series and is snapshotted after every EvaluateBatch.
+  obs::Journal& journal() { return journal_; }
+  obs::Tracer& tracer() { return journal_.tracer(); }
+  obs::MetricsRegistry& metrics_registry() { return metrics_registry_; }
 
  private:
   // One queued evaluation: which config, how many dispatches so far, and
@@ -142,11 +153,28 @@ class Controller {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::unique_ptr<common::ThreadPool> pool_;
   common::SimClock clock_;
+  obs::MetricsRegistry metrics_registry_;
+  obs::Journal journal_;  // after clock_/metrics_registry_: holds pointers
+  cdb::EngineMetrics engine_metrics_;
   cdb::PerformanceSummary default_performance_;
   bool defaults_measured_ = false;
   size_t total_stress_tests_ = 0;
   FaultStats fault_stats_;
   int next_clone_id_ = 0;
+  size_t batch_serial_ = 0;  // labels the per-batch metric snapshots
+
+  // Controller-level instruments (owned by the registry).
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* attempts_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* transient_failures_counter_ = nullptr;
+  obs::Counter* crashes_counter_ = nullptr;
+  obs::Counter* straggler_counter_ = nullptr;
+  obs::Counter* permanent_deaths_counter_ = nullptr;
+  obs::Counter* reclones_counter_ = nullptr;
+  obs::Counter* failed_samples_counter_ = nullptr;
+  obs::Histogram* round_seconds_hist_ = nullptr;
+  obs::Histogram* clone_utilization_hist_ = nullptr;
 };
 
 }  // namespace hunter::controller

@@ -50,6 +50,7 @@ void GeneticSampleFactory::BreedGeneration() {
     }
     return;
   }
+  ++generations_;
   const size_t m = catalog_->size();
   // Elitism: K_BEST survives into the next generation (Algorithm 1 line 3).
   if (!best_knobs_.empty()) queue_.push_back(best_knobs_);

@@ -41,6 +41,8 @@ class GeneticSampleFactory {
   bool Done() const { return evaluated_ >= options_.target_samples; }
 
   size_t evaluated() const { return evaluated_; }
+  // Generations bred so far (the initial random population is generation 0).
+  size_t generations() const { return generations_; }
   const std::vector<double>& best_individual() const { return best_knobs_; }
   double best_fitness() const { return best_fitness_; }
 
@@ -63,6 +65,7 @@ class GeneticSampleFactory {
   std::vector<double> best_knobs_;
   double best_fitness_;
   size_t evaluated_ = 0;
+  size_t generations_ = 0;
 };
 
 }  // namespace hunter::core

@@ -1,5 +1,7 @@
 #include "hunter/hunter.h"
 
+#include <string>
+
 namespace hunter::core {
 
 HunterTuner::HunterTuner(const cdb::KnobCatalog* catalog, Rules rules,
@@ -15,6 +17,19 @@ HunterTuner::HunterTuner(const cdb::KnobCatalog* catalog, Rules rules,
   options_.optimizer.use_pca = options_.use_pca;
   options_.optimizer.use_rf = options_.use_rf;
   options_.recommender.use_fes = options_.use_fes;
+}
+
+void HunterTuner::BindObservability(obs::Journal* journal) {
+  journal_ = journal;
+  obs::MetricsRegistry* registry =
+      journal != nullptr ? journal->registry() : nullptr;
+  if (registry == nullptr) return;
+  ga_generations_counter_ =
+      registry->RegisterCounter("hunter.ga_generations");
+  sso_refreshes_counter_ = registry->RegisterCounter("hunter.sso_refreshes");
+  ddpg_train_steps_counter_ =
+      registry->RegisterCounter("hunter.ddpg_train_steps");
+  pool_size_gauge_ = registry->RegisterGauge("hunter.pool_size");
 }
 
 std::vector<std::vector<double>> HunterTuner::Propose(size_t count) {
@@ -54,9 +69,21 @@ void HunterTuner::Observe(const std::vector<controller::Sample>& samples) {
     if (!sample.evaluation_failed) usable.push_back(sample);
   }
   pool_.AddBatch(usable);
+  if (pool_size_gauge_ != nullptr) {
+    pool_size_gauge_->Set(static_cast<double>(pool_.size()));
+  }
   if (phase_ == Phase::kSampleFactory) {
     if (options_.use_ga) {
       factory_->Observe(usable);
+      if (ga_generations_counter_ != nullptr &&
+          factory_->generations() > reported_ga_generations_) {
+        const size_t generations = factory_->generations();
+        ga_generations_counter_->Increment(
+            static_cast<double>(generations - reported_ga_generations_));
+        reported_ga_generations_ = generations;
+        journal_->tracer().Event(
+            "ga_generation", {{"generation", std::to_string(generations)}});
+      }
       if (factory_->Done()) MaybeTransitionToRecommend();
     } else if (warmup_proposed_ >= options_.random_warmup_without_ga) {
       MaybeTransitionToRecommend();
@@ -64,6 +91,11 @@ void HunterTuner::Observe(const std::vector<controller::Sample>& samples) {
     return;
   }
   recommender_->Observe(usable);
+  if (ddpg_train_steps_counter_ != nullptr) {
+    ddpg_train_steps_counter_->Increment(static_cast<double>(
+        usable.size() *
+        static_cast<size_t>(options_.recommender.train_steps_per_sample)));
+  }
   recommend_samples_ += usable.size();
   if (options_.reoptimize_every > 0 &&
       recommend_samples_ >= options_.reoptimize_every) {
@@ -79,6 +111,14 @@ void HunterTuner::MaybeTransitionToRecommend() {
   const std::vector<controller::Sample> snapshot = pool_.Snapshot();
   const OptimizedSpace space = SearchSpaceOptimizer::Optimize(
       snapshot, *catalog_, rules_, options_.optimizer, &rng_);
+  if (sso_refreshes_counter_ != nullptr) {
+    sso_refreshes_counter_->Increment();
+    journal_->tracer().Event(
+        "search_space_optimized",
+        {{"state_dim", std::to_string(space.state_dim)},
+         {"selected_knobs", std::to_string(space.selected_knobs.size())},
+         {"pool_samples", std::to_string(snapshot.size())}});
+  }
   // Phase 3: build the Recommender and warm-start it from the pool.
   recommender_ = std::make_unique<Recommender>(
       catalog_, &rules_, space, options_.recommender, rng_.NextU64());

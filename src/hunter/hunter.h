@@ -72,6 +72,9 @@ class HunterTuner : public tuners::Tuner {
 
   std::vector<std::vector<double>> Propose(size_t count) override;
   void Observe(const std::vector<controller::Sample>& samples) override;
+  // Registers hunter.* metric series (GA generations, search-space
+  // refreshes, DDPG train steps, pool size) and emits phase events.
+  void BindObservability(obs::Journal* journal) override;
 
   enum class Phase { kSampleFactory, kRecommend };
   Phase phase() const { return phase_; }
@@ -101,6 +104,15 @@ class HunterTuner : public tuners::Tuner {
   std::unique_ptr<Recommender> recommender_;
   size_t warmup_proposed_ = 0;
   size_t recommend_samples_ = 0;
+
+  // Observability (null until BindObservability; instruments live in the
+  // journal's registry).
+  obs::Journal* journal_ = nullptr;
+  obs::Counter* ga_generations_counter_ = nullptr;
+  obs::Counter* sso_refreshes_counter_ = nullptr;
+  obs::Counter* ddpg_train_steps_counter_ = nullptr;
+  obs::Gauge* pool_size_gauge_ = nullptr;
+  size_t reported_ga_generations_ = 0;
 };
 
 // The §4 matching module: stores models keyed by search-space signature;

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/text.h"
+
 namespace hunter::core {
 
 namespace {
@@ -34,6 +36,10 @@ bool ReadVector(std::istream& is, const std::string& expected_tag,
 }  // namespace
 
 bool SaveModel(const HunterModel& model, std::ostream& os) {
+  // Model files must be byte-stable across hosts: pin the "C" locale for
+  // the duration of the write (a caller-imbued locale would otherwise
+  // render decimal commas) alongside round-trip precision.
+  common::ScopedClassicLocale pin(os);
   os << kMagic << "\n";
   os << std::setprecision(17);
   os << "state_dim " << model.space.state_dim << "\n";
@@ -59,6 +65,7 @@ bool SaveModelToFile(const HunterModel& model, const std::string& path) {
 }
 
 bool LoadModel(std::istream& is, HunterModel* model) {
+  common::ScopedClassicLocale pin(is);  // parse "1.5" under any host locale
   std::string magic;
   if (!(is >> magic) || magic != kMagic) return false;
   std::string tag;

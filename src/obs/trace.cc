@@ -1,0 +1,47 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "obs/journal.h"
+
+namespace hunter::obs {
+
+void Tracer::Charge(const std::string& stage, const std::string& name,
+                    double seconds, std::vector<Attr> attrs) {
+  if (seconds < 0.0) seconds = 0.0;
+  SpanRecord span;
+  span.stage = stage;
+  span.name = name;
+  span.start_seconds = clock_->seconds();
+  span.duration_seconds = seconds;
+  span.charged = true;
+  span.attrs = std::move(attrs);
+  clock_->Advance(seconds);
+  charged_seconds_ += seconds;
+  if (journal_ != nullptr) journal_->AppendSpan(std::move(span));
+}
+
+void Tracer::Span(const std::string& stage, const std::string& name,
+                  double start_seconds, double duration_seconds,
+                  std::vector<Attr> attrs) {
+  if (journal_ == nullptr) return;
+  SpanRecord span;
+  span.stage = stage;
+  span.name = name;
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds < 0.0 ? 0.0 : duration_seconds;
+  span.charged = false;
+  span.attrs = std::move(attrs);
+  journal_->AppendSpan(std::move(span));
+}
+
+void Tracer::Event(const std::string& name, std::vector<Attr> attrs) {
+  if (journal_ == nullptr) return;
+  EventRecord event;
+  event.name = name;
+  event.at_seconds = clock_->seconds();
+  event.attrs = std::move(attrs);
+  journal_->AppendEvent(std::move(event));
+}
+
+}  // namespace hunter::obs

@@ -1,0 +1,86 @@
+// Deterministic tracer: spans and events keyed to the simulated clock.
+//
+// The tracer never reads wall-clock time — every timestamp is
+// common::SimClock seconds, so traces are byte-stable across runs with the
+// same seed and lint-clean under the no-wall-clock rule.
+//
+// Two span flavours:
+//  * Charged spans (Charge()) both advance the simulated clock and record
+//    the span. The journal's charged spans therefore *partition* the run:
+//    folding their durations in record order reproduces clock.seconds()
+//    bit-exactly, because it is the identical sequence of IEEE additions
+//    starting from zero. tracecat and the accounting regression tests rely
+//    on this to catch double- or missed charges.
+//  * Detail spans (Span()) record timing that is already covered by some
+//    charged span — e.g. the non-critical lanes of a parallel stress round —
+//    and never touch the clock.
+
+#ifndef HUNTER_OBS_TRACE_H_
+#define HUNTER_OBS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace hunter::obs {
+
+class Journal;
+
+// One key/value annotation. Values are pre-rendered strings; use
+// common::FormatDouble17 for numeric attributes so they stay byte-stable.
+struct Attr {
+  std::string key;
+  std::string value;
+};
+
+struct SpanRecord {
+  std::string stage;  // Table-1 vocabulary: deploy, execution, collection, ...
+  std::string name;   // fine-grained label, e.g. "clone0_retry1"
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  bool charged = false;  // true iff this span advanced the simulated clock
+  std::vector<Attr> attrs;
+};
+
+struct EventRecord {
+  std::string name;
+  double at_seconds = 0.0;
+  std::vector<Attr> attrs;
+};
+
+class Tracer {
+ public:
+  Tracer(common::SimClock* clock, Journal* journal)
+      : clock_(clock), journal_(journal) {}
+
+  // Advances the simulated clock by `seconds` (negative values clamp to 0,
+  // matching SimClock::Advance) and records a charged span covering exactly
+  // the advanced interval.
+  void Charge(const std::string& stage, const std::string& name,
+              double seconds, std::vector<Attr> attrs = {});
+
+  // Records an uncharged detail span at an explicit position on the
+  // simulated timeline; the clock is not touched.
+  void Span(const std::string& stage, const std::string& name,
+            double start_seconds, double duration_seconds,
+            std::vector<Attr> attrs = {});
+
+  // Records a point event at the current simulated time.
+  void Event(const std::string& name, std::vector<Attr> attrs = {});
+
+  // Sum of all durations passed to Charge(), folded in call order — by
+  // construction equal to the clock advance attributable to this tracer.
+  double charged_seconds() const { return charged_seconds_; }
+
+  common::SimClock* clock() const { return clock_; }
+
+ private:
+  common::SimClock* clock_;
+  Journal* journal_;
+  double charged_seconds_ = 0.0;
+};
+
+}  // namespace hunter::obs
+
+#endif  // HUNTER_OBS_TRACE_H_

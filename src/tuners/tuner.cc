@@ -7,6 +7,7 @@ TuningResult RunTuning(Tuner* tuner, controller::Controller* controller,
   TuningResult result;
   result.tuner_name = tuner->name();
   result.best_sample.fitness = -std::numeric_limits<double>::infinity();
+  tuner->BindObservability(&controller->journal());
   controller->DefaultPerformance();  // charge baseline measurement up front
 
   const size_t batch = static_cast<size_t>(controller->num_clones());

@@ -30,6 +30,12 @@ class Tuner {
   // Simulated tuner-side cost per step (model update + recommendation).
   // Defaults follow the paper's Table 1 (71 ms + 2.57 ms).
   virtual double ModelStepSeconds() const { return 0.071 + 0.00257; }
+
+  // Hands the tuner the run journal so it can register its metric series
+  // and emit events (GA generations, search-space refreshes, train steps).
+  // Called once by RunTuning before the first Propose; `journal` outlives
+  // the tuning run. Default: the tuner is unobserved.
+  virtual void BindObservability(obs::Journal* journal) { (void)journal; }
 };
 
 // One point on a tuning curve: the best performance seen by time `hours`.

@@ -80,6 +80,20 @@ TEST(RunningStatTest, MatchesBatchStatistics) {
   EXPECT_DOUBLE_EQ(rs.max(), 9.0);
 }
 
+TEST(RunningStatTest, EmptyExtremaAreNaNNotZero) {
+  // Regression: min()/max() used to return 0.0 before any Add(), which is
+  // indistinguishable from a genuine observation of 0.0 in metric
+  // snapshots. The empty case must be explicit.
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_TRUE(std::isnan(rs.min()));
+  EXPECT_TRUE(std::isnan(rs.max()));
+  // Negative-only samples are the case the old sentinel got wrong.
+  rs.Add(-4.5);
+  EXPECT_DOUBLE_EQ(rs.min(), -4.5);
+  EXPECT_DOUBLE_EQ(rs.max(), -4.5);
+}
+
 TEST(RunningStatTest, SingleValueHasZeroVariance) {
   RunningStat rs;
   rs.Add(3.0);

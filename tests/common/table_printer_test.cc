@@ -1,11 +1,34 @@
 #include "common/table_printer.h"
 
+#include <locale>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 namespace hunter::common {
 namespace {
+
+// A numpunct facet that renders decimals the way e.g. de_DE does: comma
+// decimal point, dot thousands separator. Used to prove the emitters are
+// pinned to the classic locale rather than whatever the process inherits.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+class ScopedGlobalCommaLocale {
+ public:
+  ScopedGlobalCommaLocale()
+      : saved_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaNumpunct))) {}
+  ~ScopedGlobalCommaLocale() { std::locale::global(saved_); }
+
+ private:
+  std::locale saved_;
+};
 
 TEST(TablePrinterTest, RendersHeaderAndRows) {
   TablePrinter table({"name", "value"});
@@ -38,6 +61,15 @@ TEST(FormatDoubleTest, RespectsDigits) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(3.14159, 0), "3");
   EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatDoubleTest, IgnoresHostileGlobalLocale) {
+  // Regression: FormatDouble went through snprintf("%.*f"), which honours
+  // the process locale — under a comma-decimal locale report tables (and
+  // anything diffing them) would change byte-for-byte.
+  ScopedGlobalCommaLocale comma_locale;
+  EXPECT_EQ(FormatDouble(1234.5, 1), "1234.5");
+  EXPECT_EQ(FormatDouble(-0.25, 2), "-0.25");
 }
 
 }  // namespace

@@ -51,10 +51,12 @@ TEST_F(ControllerTest, DefaultPerformanceChargesDeployCost) {
   auto controller = Make(1);
   controller->DefaultPerformance();
   // The clone already runs the default config, so the reset takes the
-  // dynamic-deploy path; two measurement runs follow.
+  // dynamic-deploy path; two measurement runs follow, each paying execution
+  // plus metric collection (the collection term used to be dropped).
   EXPECT_DOUBLE_EQ(controller->clock().seconds(),
                    cdb::CdbInstance::kDynamicDeploySeconds +
-                       2.0 * Actor::kExecutionSeconds);
+                       2.0 * Actor::kExecutionSeconds +
+                       2.0 * Actor::kCollectionSeconds);
 }
 
 TEST_F(ControllerTest, PoolSizedToClonesBoundedByHardware) {

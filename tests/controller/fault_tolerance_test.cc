@@ -11,6 +11,7 @@
 #include "cdb/knob_catalog.h"
 #include "controller/controller.h"
 #include "controller/shared_pool.h"
+#include "obs/journal.h"
 #include "workload/workloads.h"
 
 namespace hunter::controller {
@@ -206,6 +207,64 @@ TEST_F(FaultToleranceTest, ConcurrentRunMatchesSerialRunExactly) {
     EXPECT_EQ(serial_samples[i].evaluation_failed,
               threaded_samples[i].evaluation_failed);
   }
+}
+
+TEST_F(FaultToleranceTest, ChargedSpansPartitionClockUnderMixedFaults) {
+  // The journal's charged spans must account for every simulated second,
+  // even along the messy paths: retries, backoff, crash recovery, straggler
+  // timeouts with requeue, and clone death with replacement. Folding the
+  // charged durations in record order replays the exact IEEE addition
+  // sequence the clock saw, so the comparison is bit-exact — any double- or
+  // missed charge breaks equality outright.
+  ControllerOptions faulty = BaseOptions(3);
+  faulty.faults.seed = 21;
+  faulty.faults.transient_deploy_failure_rate = 0.2;
+  faulty.faults.crash_rate = 0.1;
+  faulty.faults.straggler_rate = 0.1;
+  faulty.faults.permanent_deaths = {{2, 1}};
+  faulty.straggler_timeout_seconds = 400.0;
+  auto controller = Make(faulty);
+
+  controller->DefaultPerformance();
+  controller->EvaluateBatch(Batch(12));
+
+  double folded = 0.0;
+  size_t charged = 0;
+  for (const obs::Record& r : controller->journal().records()) {
+    if (r.type == obs::Record::Type::kSpan && r.span.charged) {
+      folded += r.span.duration_seconds;
+      ++charged;
+    }
+  }
+  EXPECT_GT(charged, 0u);
+  EXPECT_GT(controller->fault_stats().retries, 0u);  // the faults did fire
+  EXPECT_DOUBLE_EQ(folded, controller->clock().seconds());
+  EXPECT_DOUBLE_EQ(controller->journal().tracer().charged_seconds(),
+                   controller->clock().seconds());
+}
+
+TEST_F(FaultToleranceTest, PermanentDeathChargesRestartDeploy) {
+  // Regression: a clone that died mid-run charged only the partial
+  // execution, silently dropping the deployment it had already performed.
+  // The journal must show the aborted deploy at full restart cost.
+  ControllerOptions faulty = BaseOptions(2);
+  faulty.faults.seed = 3;
+  faulty.faults.permanent_deaths = {{1, 0}};  // only fault source
+  auto controller = Make(faulty);
+  controller->EvaluateBatch(Batch(4));
+  ASSERT_EQ(controller->fault_stats().permanent_deaths, 1u);
+
+  size_t aborted_deploys = 0;
+  for (const obs::Record& r : controller->journal().records()) {
+    if (r.type != obs::Record::Type::kSpan) continue;
+    if (r.span.name == "clone1_deploy_aborted") {
+      ++aborted_deploys;
+      EXPECT_EQ(r.span.stage, "deploy");
+      EXPECT_DOUBLE_EQ(r.span.duration_seconds,
+                       cdb::CdbInstance::kRestartDeploySeconds);
+    }
+  }
+  EXPECT_EQ(aborted_deploys, 1u);
 }
 
 TEST_F(FaultToleranceTest, SameSeedReproducesIdenticalRun) {

@@ -1,7 +1,9 @@
 #include "hunter/model_io.h"
 
 #include <cstdio>
+#include <locale>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -73,6 +75,34 @@ TEST(ModelIoTest, FileRoundTrip) {
   EXPECT_EQ(loaded.signature, original.signature);
   EXPECT_EQ(loaded.ddpg_parameters, original.ddpg_parameters);
   std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RoundTripSurvivesHostileGlobalLocale) {
+  // Regression: Save/LoadModel used the stream's inherited locale, so a
+  // comma-decimal global locale would write "0,5"-style doubles and fail
+  // to read back models written under the classic locale.
+  class CommaNumpunct : public std::numpunct<char> {
+   protected:
+    char do_decimal_point() const override { return ','; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  const HunterModel original = MakeModel(false);
+  std::stringstream classic_stream;
+  ASSERT_TRUE(SaveModel(original, classic_stream));
+  const std::string classic_bytes = classic_stream.str();
+
+  const std::locale saved = std::locale::global(
+      std::locale(std::locale::classic(), new CommaNumpunct));
+  std::stringstream comma_stream;
+  const bool saved_ok = SaveModel(original, comma_stream);
+  HunterModel loaded;
+  const bool loaded_ok = LoadModel(comma_stream, &loaded);
+  std::locale::global(saved);
+
+  ASSERT_TRUE(saved_ok);
+  ASSERT_TRUE(loaded_ok);
+  EXPECT_EQ(comma_stream.str(), classic_bytes);
+  EXPECT_EQ(loaded.ddpg_parameters, original.ddpg_parameters);
 }
 
 TEST(ModelIoTest, RejectsWrongMagic) {

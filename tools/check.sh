@@ -5,7 +5,9 @@
 #      on top of the always-on -Wall -Wextra)
 #   2. hunterlint over src/ tests/ bench/ examples/
 #   3. the full tier-1 ctest suite (includes the `lint` and `perf` labels)
-#   4. a sanitizer smoke: `ctest -L concurrency` under TSan
+#   4. a tracecat smoke: emit two same-seed run journals, require them
+#      byte-identical, and render a breakdown + a cross-seed diff
+#   5. a sanitizer smoke: `ctest -L concurrency` under TSan
 #
 # Run from anywhere: paths are resolved relative to the repo root. Build
 # trees land in build-check/ and build-check-tsan/ (both gitignored).
@@ -14,17 +16,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/4] configure + build (HUNTER_WERROR=ON) =="
+echo "== [1/5] configure + build (HUNTER_WERROR=ON) =="
 cmake -B build-check -S . -DHUNTER_WERROR=ON
 cmake --build build-check -j "$JOBS"
 
-echo "== [2/4] hunterlint =="
+echo "== [2/5] hunterlint =="
 ./build-check/tools/hunterlint/hunterlint --root . src tests bench examples
 
-echo "== [3/4] tier-1 tests =="
+echo "== [3/5] tier-1 tests =="
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "== [4/4] TSan concurrency smoke =="
+echo "== [4/5] tracecat smoke =="
+SMOKE_DIR="build-check/tracecat-smoke"
+mkdir -p "$SMOKE_DIR"
+./build-check/examples/trace_journal "$SMOKE_DIR/seed42_a.jsonl" 42
+./build-check/examples/trace_journal "$SMOKE_DIR/seed42_b.jsonl" 42
+./build-check/examples/trace_journal "$SMOKE_DIR/seed43.jsonl" 43
+cmp "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed42_b.jsonl" || {
+  echo "tracecat smoke: same-seed journals differ" >&2
+  exit 1
+}
+./build-check/tools/tracecat/tracecat breakdown "$SMOKE_DIR/seed42_a.jsonl"
+./build-check/tools/tracecat/tracecat diff \
+  "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed43.jsonl"
+
+echo "== [5/5] TSan concurrency smoke =="
 cmake -B build-check-tsan -S . -DHUNTER_SANITIZE=thread
 cmake --build build-check-tsan -j "$JOBS"
 ctest --test-dir build-check-tsan -L concurrency --output-on-failure -j "$JOBS"

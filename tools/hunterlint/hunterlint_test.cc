@@ -204,6 +204,31 @@ TEST(NoUnorderedIterationEmitTest, TracksAliasesThroughUsing) {
 }
 
 // --------------------------------------------------------------------------
+// journal-emit-through-obs
+
+TEST(JournalEmitTest, FlagsRawEscapedAndSchemaTagSpellings) {
+  const std::vector<Violation> vs = LintFile(
+      "src/controller/report.cc",
+      "const char* a = \"{\\\"type\\\":\\\"span\\\",\\\"seq\\\":0}\";\n"
+      "const char* b = R\"({\"type\":\"metrics\"})\";\n"
+      "const char* c = \"hunter.journal.v1\";\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"journal-emit-through-obs", 1},
+                                   {"journal-emit-through-obs", 2},
+                                   {"journal-emit-through-obs", 3}}));
+}
+
+TEST(JournalEmitTest, ObsModuleAndNonJournalStringsAreLegal) {
+  EXPECT_TRUE(LintFile("src/obs/journal.cc",
+                       "const char* k = \"{\\\"type\\\":\\\"span\\\"}\";\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/controller/report.cc",
+                       "const char* k = \"span type metrics\";\n"
+                       "const char* j = \"{\\\"type\\\":\\\"knob\\\"}\";\n")
+                  .empty());
+}
+
+// --------------------------------------------------------------------------
 // header hygiene
 
 TEST(HeaderHygieneTest, RequiresGuardOnlyInHeaders) {
@@ -329,6 +354,12 @@ TEST(FixtureTest, NakedThread) {
 TEST(FixtureTest, UnorderedEmit) {
   EXPECT_EQ(RulesAndLines(LintFixture("violations/unordered_emit.cc")),
             (std::vector<RuleLine>{{"no-unordered-iteration-emit", 12}}));
+}
+
+TEST(FixtureTest, RawJournal) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/raw_journal.cc")),
+            (std::vector<RuleLine>{{"journal-emit-through-obs", 7},
+                                   {"journal-emit-through-obs", 11}}));
 }
 
 TEST(FixtureTest, BadHeader) {

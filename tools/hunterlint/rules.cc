@@ -327,6 +327,44 @@ void CheckUnorderedIterationEmit(const FileCtx& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// journal-emit-through-obs
+
+// A string literal that spells out a journal record by hand. The lexer
+// keeps escape backslashes in the token text, so the `"type"` key appears
+// either raw (inside a raw string literal) or as \"type\" (inside an
+// ordinary literal); match both spellings.
+bool ContainsJournalMarker(const std::string& s) {
+  static const char* kRecordTypes[] = {"span", "event", "metrics", "meta"};
+  for (const char* type : kRecordTypes) {
+    if (s.find(std::string("\"type\":\"") + type + "\"") !=
+        std::string::npos) {
+      return true;
+    }
+    if (s.find(std::string("\\\"type\\\":\\\"") + type + "\\\"") !=
+        std::string::npos) {
+      return true;
+    }
+  }
+  return s.find("hunter.journal") != std::string::npos;
+}
+
+void CheckJournalEmit(const FileCtx& ctx, std::vector<Violation>* out) {
+  // The obs layer is the one legitimate producer of journal bytes.
+  if (StartsWith(ctx.rel_path, "src/obs/")) return;
+  const TokenVec& toks = ctx.lex->tokens;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kString) continue;
+    if (ContainsJournalMarker(t.text)) {
+      out->push_back(
+          {"journal-emit-through-obs", ctx.rel_path, t.line,
+           "hand-rolled journal record bytes — emit through obs::Journal "
+           "(and parse through obs::ParseJournal) so the schema and "
+           "byte-stability contract stay in one place"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // header hygiene
 
 void CheckHeaderGuard(const FileCtx& ctx, std::vector<Violation>* out) {
@@ -396,6 +434,7 @@ const std::vector<std::string>& AllRuleNames() {
       "no-unseeded-rng",
       "no-naked-thread",
       "no-unordered-iteration-emit",
+      "journal-emit-through-obs",
       "header-guard",
       "no-using-namespace-header",
       "include-style",
@@ -420,6 +459,11 @@ std::string RuleDescription(const std::string& rule) {
   if (rule == "no-unordered-iteration-emit") {
     return "flags range-for over unordered containers in files that "
            "produce ordered output";
+  }
+  if (rule == "journal-emit-through-obs") {
+    return "flags string literals that hand-roll run-journal records "
+           "(\"type\":\"span\"/... or the hunter.journal schema tag) "
+           "outside src/obs/ — journal bytes must go through obs::Journal";
   }
   if (rule == "header-guard") {
     return "headers must start with #pragma once or a matched "
@@ -447,6 +491,7 @@ std::vector<Violation> RunRules(const FileCtx& ctx) {
   CheckUnseededRng(ctx, &out);
   CheckNakedThread(ctx, &out);
   CheckUnorderedIterationEmit(ctx, &out);
+  CheckJournalEmit(ctx, &out);
   if (ctx.is_header) {
     CheckHeaderGuard(ctx, &out);
     CheckUsingNamespaceHeader(ctx, &out);

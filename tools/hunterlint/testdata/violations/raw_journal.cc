@@ -1,0 +1,16 @@
+// Fixture: hand-rolled run-journal record bytes outside src/obs/; must be
+// flagged by journal-emit-through-obs.
+// Line numbers are pinned by hunterlint_test.cc — edit with care.
+#include <cstdio>
+
+void EmitSpanByHand(std::FILE* out) {
+  std::fprintf(out, "{\"type\":\"span\",\"seq\":0,\"stage\":\"deploy\"}\n");
+}
+
+const char* kMetaLine =
+    R"({"type":"meta","schema":"hunter.journal.v1","attrs":{}})";
+
+// hunterlint: allow(journal-emit-through-obs) pinned golden bytes for a parser test
+const char* kGolden = "{\"type\":\"event\",\"name\":\"boot\"}";
+
+const char* kPlain = "{\"type\":\"config\"}";  // fine: not a journal record

@@ -1,0 +1,56 @@
+// tracecat CLI: per-stage cost breakdowns and diffs over run journals.
+//
+//   tracecat breakdown <journal.jsonl>
+//   tracecat diff <a.jsonl> <b.jsonl>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "tracecat/tracecat.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s breakdown <journal.jsonl>\n"
+               "       %s diff <a.jsonl> <b.jsonl>\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool LoadJournal(const std::string& path, hunter::obs::ParsedJournal* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "tracecat: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!hunter::obs::ParseJournal(in, out, &error)) {
+    std::fprintf(stderr, "tracecat: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string command = argv[1];
+  if (command == "breakdown" && argc == 3) {
+    hunter::obs::ParsedJournal journal;
+    if (!LoadJournal(argv[2], &journal)) return 1;
+    std::cout << hunter::tracecat::RenderBreakdown(journal);
+    return 0;
+  }
+  if (command == "diff" && argc == 4) {
+    hunter::obs::ParsedJournal a;
+    hunter::obs::ParsedJournal b;
+    if (!LoadJournal(argv[2], &a) || !LoadJournal(argv[3], &b)) return 1;
+    std::cout << hunter::tracecat::RenderDiff(a, b);
+    return 0;
+  }
+  return Usage(argv[0]);
+}

@@ -1,0 +1,113 @@
+#include "tracecat/tracecat.h"
+
+#include <sstream>
+
+#include "common/table_printer.h"
+#include "common/text.h"
+
+namespace hunter::tracecat {
+namespace {
+
+StageCost* FindStage(std::vector<StageCost>* stages,
+                     const std::string& stage) {
+  for (StageCost& s : *stages) {
+    if (s.stage == stage) return &s;
+  }
+  return nullptr;
+}
+
+double StageSeconds(const Breakdown& b, const std::string& stage) {
+  for (const StageCost& s : b.stages) {
+    if (s.stage == stage) return s.seconds;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Breakdown ComputeBreakdown(const obs::ParsedJournal& journal) {
+  Breakdown out;
+  for (const obs::Record& record : journal.records) {
+    switch (record.type) {
+      case obs::Record::Type::kSpan: {
+        const obs::SpanRecord& span = record.span;
+        if (!span.charged) {
+          ++out.detail_spans;
+          break;
+        }
+        ++out.charged_spans;
+        out.total_seconds += span.duration_seconds;
+        StageCost* cost = FindStage(&out.stages, span.stage);
+        if (cost == nullptr) {
+          out.stages.push_back({span.stage, 0.0, 0});
+          cost = &out.stages.back();
+        }
+        cost->seconds += span.duration_seconds;
+        ++cost->spans;
+        break;
+      }
+      case obs::Record::Type::kEvent:
+        ++out.events;
+        break;
+      case obs::Record::Type::kMetrics:
+        ++out.metric_snapshots;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderBreakdown(const obs::ParsedJournal& journal) {
+  const Breakdown b = ComputeBreakdown(journal);
+  std::ostringstream os;
+  common::TablePrinter table({"stage", "seconds", "share %", "spans"});
+  for (const StageCost& s : b.stages) {
+    const double share =
+        b.total_seconds > 0.0 ? 100.0 * s.seconds / b.total_seconds : 0.0;
+    table.AddRow({s.stage, common::FormatDouble(s.seconds, 3),
+                  common::FormatDouble(share, 2), std::to_string(s.spans)});
+  }
+  table.Print(os);
+  os << "total simulated time: " << common::FormatDouble(b.total_seconds, 4)
+     << " s (" << common::FormatDouble(b.total_seconds / 3600.0, 3)
+     << " h) across " << b.charged_spans << " charged spans\n";
+  os << "detail spans: " << b.detail_spans << ", events: " << b.events
+     << ", metric snapshots: " << b.metric_snapshots << "\n";
+  return os.str();
+}
+
+std::string RenderDiff(const obs::ParsedJournal& a,
+                       const obs::ParsedJournal& b) {
+  const Breakdown ba = ComputeBreakdown(a);
+  const Breakdown bb = ComputeBreakdown(b);
+  std::vector<std::string> stages;
+  for (const StageCost& s : ba.stages) stages.push_back(s.stage);
+  for (const StageCost& s : bb.stages) {
+    bool seen = false;
+    for (const std::string& name : stages) {
+      if (name == s.stage) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) stages.push_back(s.stage);
+  }
+
+  std::ostringstream os;
+  common::TablePrinter table({"stage", "a seconds", "b seconds", "delta"});
+  for (const std::string& stage : stages) {
+    const double sa = StageSeconds(ba, stage);
+    const double sb = StageSeconds(bb, stage);
+    table.AddRow({stage, common::FormatDouble(sa, 3),
+                  common::FormatDouble(sb, 3),
+                  common::FormatDouble(sb - sa, 3)});
+  }
+  table.Print(os);
+  os << "total: " << common::FormatDouble(ba.total_seconds, 4) << " s -> "
+     << common::FormatDouble(bb.total_seconds, 4) << " s (delta "
+     << common::FormatDouble(bb.total_seconds - ba.total_seconds, 4)
+     << " s)\n";
+  return os.str();
+}
+
+}  // namespace hunter::tracecat

@@ -1,0 +1,46 @@
+// tracecat: renders a Table-1-style per-stage cost breakdown from a run
+// journal (obs::Journal JSONL) and diffs two journals stage by stage.
+// Library half of the tools/tracecat CLI; pulled into ctest golden tests.
+
+#ifndef HUNTER_TOOLS_TRACECAT_TRACECAT_H_
+#define HUNTER_TOOLS_TRACECAT_TRACECAT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace hunter::tracecat {
+
+struct StageCost {
+  std::string stage;
+  double seconds = 0.0;  // sum of charged-span durations in record order
+  size_t spans = 0;      // charged spans only
+};
+
+struct Breakdown {
+  // Stages in order of first appearance among charged spans.
+  std::vector<StageCost> stages;
+  // Fold of every charged span's duration in record order — reproduces the
+  // run's simulated clock total bit-exactly (the obs determinism contract).
+  double total_seconds = 0.0;
+  size_t charged_spans = 0;
+  size_t detail_spans = 0;
+  size_t events = 0;
+  size_t metric_snapshots = 0;
+};
+
+Breakdown ComputeBreakdown(const obs::ParsedJournal& journal);
+
+// Markdown table of per-stage costs plus a totals footer.
+std::string RenderBreakdown(const obs::ParsedJournal& journal);
+
+// Stage-by-stage time deltas between two journals (union of stages, `a`'s
+// first-appearance order first, then stages only `b` has).
+std::string RenderDiff(const obs::ParsedJournal& a,
+                       const obs::ParsedJournal& b);
+
+}  // namespace hunter::tracecat
+
+#endif  // HUNTER_TOOLS_TRACECAT_TRACECAT_H_

@@ -1,0 +1,111 @@
+#include "tracecat/tracecat.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hunter::tracecat {
+namespace {
+
+std::string TestDataPath(const std::string& name) {
+  return std::string(TRACECAT_TESTDATA_DIR) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing test data file: " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+obs::ParsedJournal LoadFixture(const std::string& name) {
+  std::ifstream in(TestDataPath(name), std::ios::binary);
+  obs::ParsedJournal journal;
+  std::string error;
+  EXPECT_TRUE(obs::ParseJournal(in, &journal, &error)) << error;
+  return journal;
+}
+
+TEST(TracecatTest, BreakdownFoldsChargedSpansOnly) {
+  const obs::ParsedJournal journal = LoadFixture("example_a.jsonl");
+  const Breakdown b = ComputeBreakdown(journal);
+  // 3 + 142.5 + 0.25 + 2 + 26.5, all exactly representable.
+  EXPECT_DOUBLE_EQ(b.total_seconds, 174.25);
+  EXPECT_EQ(b.charged_spans, 5u);
+  EXPECT_EQ(b.detail_spans, 2u);  // the non-critical lane
+  EXPECT_EQ(b.events, 1u);
+  EXPECT_EQ(b.metric_snapshots, 1u);
+  ASSERT_EQ(b.stages.size(), 5u);  // first-appearance order
+  EXPECT_EQ(b.stages[0].stage, "deploy");
+  EXPECT_EQ(b.stages[1].stage, "execution");
+  EXPECT_EQ(b.stages[2].stage, "collection");
+  EXPECT_EQ(b.stages[3].stage, "backoff");
+  EXPECT_EQ(b.stages[4].stage, "recovery");
+}
+
+TEST(TracecatTest, BreakdownStagesCoverRecovery) {
+  const obs::ParsedJournal journal = LoadFixture("example_a.jsonl");
+  const Breakdown b = ComputeBreakdown(journal);
+  bool has_recovery = false;
+  for (const StageCost& s : b.stages) {
+    if (s.stage == "recovery") {
+      has_recovery = true;
+      EXPECT_DOUBLE_EQ(s.seconds, 26.5);
+      EXPECT_EQ(s.spans, 1u);
+    }
+  }
+  EXPECT_TRUE(has_recovery);
+}
+
+// Golden-output tests: the rendered bytes are pinned in testdata/. If an
+// intentional format change breaks these, regenerate with
+//   tracecat breakdown testdata/example_a.jsonl > testdata/golden_breakdown_a.txt
+//   tracecat diff testdata/example_a.jsonl testdata/example_b.jsonl
+//       > testdata/golden_diff_ab.txt
+TEST(TracecatTest, BreakdownMatchesGolden) {
+  const obs::ParsedJournal journal = LoadFixture("example_a.jsonl");
+  EXPECT_EQ(RenderBreakdown(journal), ReadFile(TestDataPath(
+                                          "golden_breakdown_a.txt")));
+}
+
+TEST(TracecatTest, DiffMatchesGolden) {
+  const obs::ParsedJournal a = LoadFixture("example_a.jsonl");
+  const obs::ParsedJournal b = LoadFixture("example_b.jsonl");
+  EXPECT_EQ(RenderDiff(a, b), ReadFile(TestDataPath("golden_diff_ab.txt")));
+}
+
+TEST(TracecatTest, ParseWriteRoundTripIsByteIdentical) {
+  const std::string original = ReadFile(TestDataPath("example_a.jsonl"));
+  std::istringstream in(original);
+  obs::ParsedJournal journal;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJournal(in, &journal, &error)) << error;
+  std::ostringstream out;
+  obs::WriteParsed(journal, out);
+  EXPECT_EQ(out.str(), original);
+}
+
+TEST(TracecatTest, ParseReportsLineNumbersOnMalformedInput) {
+  std::istringstream in(
+      "{\"type\":\"meta\",\"schema\":\"hunter.journal.v1\",\"attrs\":{}}\n"
+      "not json\n");
+  obs::ParsedJournal journal;
+  std::string error;
+  EXPECT_FALSE(obs::ParseJournal(in, &journal, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(TracecatTest, ParseRejectsJournalWithoutMeta) {
+  std::istringstream in(
+      "{\"type\":\"event\",\"seq\":0,\"name\":\"x\",\"t\":0,\"attrs\":{}}\n");
+  obs::ParsedJournal journal;
+  std::string error;
+  EXPECT_FALSE(obs::ParseJournal(in, &journal, &error));
+  EXPECT_NE(error.find("meta"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace hunter::tracecat
