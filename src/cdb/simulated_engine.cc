@@ -67,11 +67,13 @@ SimulatedEngine::SimulatedEngine(const KnobCatalog* catalog,
   constexpr size_t kNumRoles = static_cast<size_t>(KnobRole::kGeneric) + 1;
   role_index_.assign(kNumRoles, -1);
   for (size_t i = 0; i < catalog_->size(); ++i) {
-    const KnobRole role = catalog_->knob(i).role;
-    if (role == KnobRole::kGeneric) {
-      generic_knobs_.push_back(i);
-    } else if (role_index_[static_cast<size_t>(role)] < 0) {
-      role_index_[static_cast<size_t>(role)] = static_cast<int>(i);
+    const KnobDef& def = catalog_->knob(i);
+    if (def.role == KnobRole::kGeneric) {
+      const uint64_t h = HashName(def.name);
+      generic_knobs_.push_back({i, 0.0008 + 0.0045 * UnitHash(h),
+                                0.15 + 0.7 * UnitHash(h ^ 0x5bd1e995u)});
+    } else if (role_index_[static_cast<size_t>(def.role)] < 0) {
+      role_index_[static_cast<size_t>(def.role)] = static_cast<int>(i);
     }
   }
 }
@@ -166,14 +168,26 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
   }
   const double write_access_fraction = 1.0 - workload.read_fraction;
   const int warmup = warm_start ? kWarmupAccesses / 4 : kWarmupAccesses;
+  // Draw the whole access stream up front (same interleaved draw order the
+  // former per-access loops used, so the RNG stream is unchanged), then
+  // replay it through the pool. One tight sampling loop keeps the Zipf
+  // constants hot and separates distribution math from pool bookkeeping.
+  const size_t total_accesses =
+      static_cast<size_t>(warmup) + static_cast<size_t>(kMeasuredAccesses);
+  access_pages_.resize(total_accesses);
+  access_is_write_.resize(total_accesses);
+  for (size_t i = 0; i < total_accesses; ++i) {
+    access_pages_[i] = rng->Zipf(data_pages, workload.zipf_theta);
+    access_is_write_[i] = rng->Bernoulli(write_access_fraction) ? 1 : 0;
+  }
   for (int i = 0; i < warmup; ++i) {
-    pool.Access(rng->Zipf(data_pages, workload.zipf_theta),
-                rng->Bernoulli(write_access_fraction));
+    const size_t a = static_cast<size_t>(i);
+    pool.Access(access_pages_[a], access_is_write_[a] != 0);
   }
   pool.ResetCounters();
   for (int i = 0; i < kMeasuredAccesses; ++i) {
-    pool.Access(rng->Zipf(data_pages, workload.zipf_theta),
-                rng->Bernoulli(write_access_fraction));
+    const size_t a = static_cast<size_t>(warmup + i);
+    pool.Access(access_pages_[a], access_is_write_[a] != 0);
     if ((i & 255) == 0) {
       // Background page cleaning proportional to the io_capacity budget.
       pool.FlushDirty(static_cast<uint64_t>(io_capacity / 256.0) + 1);
@@ -231,15 +245,11 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
   // Generic minor knobs: each contributes a small smooth penalty with a
   // workload-dependent optimum position (see DESIGN.md §6).
   double generic_penalty = 0.0;
-  for (size_t knob_index : generic_knobs_) {
-    const KnobDef& def = catalog_->knob(knob_index);
-    const uint64_t h = HashName(def.name);
-    const double weight = 0.0008 + 0.0045 * UnitHash(h);
-    const double opt = 0.15 + 0.7 * UnitHash(h ^ 0x5bd1e995u) +
-                       0.1 * (workload.read_fraction - 0.5);
-    const double x = catalog_->Normalize(knob_index, config[knob_index]);
+  for (const GenericKnobEffect& g : generic_knobs_) {
+    const double opt = g.opt_base + 0.1 * (workload.read_fraction - 0.5);
+    const double x = catalog_->Normalize(g.knob_index, config[g.knob_index]);
     const double d = x - std::clamp(opt, 0.05, 0.95);
-    generic_penalty += weight * d * d;
+    generic_penalty += g.weight * d * d;
   }
   cpu_ms *= 1.0 + generic_penalty;
   cpu_ms += misses_per_txn * 0.025;  // page fixing/IO completion CPU
@@ -279,27 +289,33 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
   // ---- Fixed point over throughput (group commit and flush pressure
   // depend on the rate they help determine).
   double throughput = n_clients / std::max(0.1, base_service_ms) * 1000.0;
+  // The WAL config/workload (apart from the commit rate the fixed point is
+  // solving for) never changes across iterations, so precompute the
+  // rate-independent terms once and re-estimate only the rate-dependent
+  // ones inside the loop — the costs are bit-identical to the full
+  // re-estimation the loop used to do.
+  WalConfig wal_config;
+  wal_config.flush_policy = flush_policy;
+  wal_config.binlog_sync_every = static_cast<int>(binlog_sync);
+  wal_config.log_file_mb = log_file_mb;
+  wal_config.log_buffer_mb = log_buffer_mb;
+  wal_config.fsync_ms = instance_.fsync_latency_ms;
+  wal_config.flush_method = flush_method;
+  wal_config.doublewrite = doublewrite;
+  wal_config.io_capacity = io_capacity;
+  WalWorkload wal_workload;
+  wal_workload.redo_kb_per_txn = workload.redo_kb_per_txn;
+  wal_workload.concurrent_committers = n_exec;
+  const WalInvariants wal_invariants =
+      WalModel::Precompute(wal_config, wal_workload);
+  // Read-mostly transactions generate (almost) no redo, so the commit
+  // path's sync costs scale away with the redo volume.
+  const double write_activity =
+      std::clamp(workload.redo_kb_per_txn / 0.5, 0.0, 1.0);
   WalCost wal;
   double stall_ms = 0.0;
   for (int iter = 0; iter < 40; ++iter) {
-    WalConfig wal_config;
-    wal_config.flush_policy = flush_policy;
-    wal_config.binlog_sync_every = static_cast<int>(binlog_sync);
-    wal_config.log_file_mb = log_file_mb;
-    wal_config.log_buffer_mb = log_buffer_mb;
-    wal_config.fsync_ms = instance_.fsync_latency_ms;
-    wal_config.flush_method = flush_method;
-    wal_config.doublewrite = doublewrite;
-    wal_config.io_capacity = io_capacity;
-    WalWorkload wal_workload;
-    wal_workload.commit_rate_tps = throughput;
-    wal_workload.redo_kb_per_txn = workload.redo_kb_per_txn;
-    wal_workload.concurrent_committers = n_exec;
-    wal = WalModel::Estimate(wal_config, wal_workload);
-    // Read-mostly transactions generate (almost) no redo, so the commit
-    // path's sync costs scale away with the redo volume.
-    const double write_activity =
-        std::clamp(workload.redo_kb_per_txn / 0.5, 0.0, 1.0);
+    wal = WalModel::EstimateAtRate(wal_invariants, throughput);
     wal.commit_cost_ms *= write_activity;
     wal.log_wait_ms *= write_activity;
 

@@ -74,6 +74,17 @@ class SimulatedEngine {
   const KnobCatalog& catalog() const { return *catalog_; }
 
  private:
+  // Hash-derived response constants of one generic minor knob, computed
+  // once at construction instead of re-hashing the knob name on every Run
+  // (65 knobs x FNV over the name x thousands of stress tests per tuning
+  // run). `opt_base` is the workload-independent part of the optimum
+  // position; Run adds the read-fraction shift.
+  struct GenericKnobEffect {
+    size_t knob_index = 0;
+    double weight = 0.0;
+    double opt_base = 0.0;
+  };
+
   double KnobValue(const Configuration& config, KnobRole role,
                    double fallback) const;
 
@@ -81,7 +92,14 @@ class SimulatedEngine {
   InstanceType instance_;
   EngineTuning tuning_;
   std::vector<int> role_index_;  // role -> knob index (-1 if absent)
-  std::vector<size_t> generic_knobs_;
+  std::vector<GenericKnobEffect> generic_knobs_;
+
+  // Scratch for the precomputed page-access stream (pages + write flags in
+  // the original interleaved draw order). An engine is driven by one actor
+  // at a time, so reusing the buffers across Run calls is safe and keeps
+  // the steady state allocation-free.
+  mutable std::vector<uint64_t> access_pages_;
+  mutable std::vector<uint8_t> access_is_write_;
 };
 
 }  // namespace hunter::cdb

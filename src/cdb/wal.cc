@@ -7,21 +7,47 @@ namespace hunter::cdb {
 
 WalCost WalModel::Estimate(const WalConfig& config,
                            const WalWorkload& workload) {
+  return EstimateAtRate(Precompute(config, workload),
+                        workload.commit_rate_tps);
+}
+
+WalInvariants WalModel::Precompute(const WalConfig& config,
+                                   const WalWorkload& workload) {
+  WalInvariants inv;
+  inv.flush_policy = config.flush_policy;
+  inv.fsync_ms = config.fsync_ms;
+  inv.binlog_sync_every = static_cast<double>(config.binlog_sync_every);
+  inv.redo_kb_per_txn = workload.redo_kb_per_txn;
+  inv.log_buffer_denom_mb = std::max(0.25, config.log_buffer_mb);
+  inv.log_file_mb = config.log_file_mb;
+  inv.checkpoint_pause_ms = 250000.0 / std::max(100.0, config.io_capacity);
+  inv.group_cap = std::max(1.0, workload.concurrent_committers);
+  // ---- Write amplification from durability features (rate-independent).
+  inv.base_write_amplification = 1.0;
+  if (config.doublewrite) inv.base_write_amplification += 0.8;
+  if (config.flush_method != 2) {
+    // Buffered IO double-copies through the OS page cache.
+    inv.base_write_amplification += 0.25;
+    inv.commit_cost_multiplier = 1.05;
+  }
+  return inv;
+}
+
+WalCost WalModel::EstimateAtRate(const WalInvariants& inv,
+                                 double commit_rate_tps) {
   WalCost cost;
 
   // ---- Redo sync cost with group commit.
   // Commits arriving while one fsync is in flight join its group, so the
   // effective group size grows with the commit arrival rate.
-  const double arrivals_per_fsync =
-      workload.commit_rate_tps * config.fsync_ms / 1000.0;
-  const double group = std::clamp(arrivals_per_fsync, 1.0,
-                                  std::max(1.0, workload.concurrent_committers));
-  switch (config.flush_policy) {
+  const double arrivals_per_fsync = commit_rate_tps * inv.fsync_ms / 1000.0;
+  const double group = std::clamp(arrivals_per_fsync, 1.0, inv.group_cap);
+  switch (inv.flush_policy) {
     case 0:  // write to log buffer only
       cost.commit_cost_ms += 0.005;
       break;
     case 1:  // fsync every commit (amortized across the commit group)
-      cost.commit_cost_ms += config.fsync_ms / group + 0.01;
+      cost.commit_cost_ms += inv.fsync_ms / group + 0.01;
       break;
     default:  // write to OS cache per commit, background sync ~1/s
       cost.commit_cost_ms += 0.02;
@@ -29,17 +55,16 @@ WalCost WalModel::Estimate(const WalConfig& config,
   }
 
   // ---- Binlog / secondary log sync.
-  if (config.binlog_sync_every > 0) {
-    cost.commit_cost_ms += config.fsync_ms /
-                           (static_cast<double>(config.binlog_sync_every) * group);
+  if (inv.binlog_sync_every > 0) {
+    cost.commit_cost_ms += inv.fsync_ms / (inv.binlog_sync_every * group);
   }
 
   // ---- Log-buffer waits: if a second's worth of redo exceeds the buffer,
   // committers stall on synchronous buffer flushes.
   const double redo_mb_per_sec =
-      workload.commit_rate_tps * workload.redo_kb_per_txn / 1024.0;
+      commit_rate_tps * inv.redo_kb_per_txn / 1024.0;
   const double buffer_turnovers_per_sec =
-      redo_mb_per_sec / std::max(0.25, config.log_buffer_mb);
+      redo_mb_per_sec / inv.log_buffer_denom_mb;
   if (buffer_turnovers_per_sec > 2.0) {
     // Each turnover beyond ~2/s adds a synchronous write the committers
     // share; cost grows smoothly with pressure.
@@ -50,25 +75,17 @@ WalCost WalModel::Estimate(const WalConfig& config,
   // checkpoint whose stall is amortized over the commits in between.
   if (redo_mb_per_sec > 0.0) {
     const double seconds_to_fill =
-        std::max(1.0, config.log_file_mb / redo_mb_per_sec);
+        std::max(1.0, inv.log_file_mb / redo_mb_per_sec);
     cost.checkpoints_per_sec = 1.0 / seconds_to_fill;
     // A sharp checkpoint writes out the dirty tail; better io_capacity
     // absorbs it faster. Penalty spread over the interval's commits.
-    const double checkpoint_pause_ms =
-        250000.0 / std::max(100.0, config.io_capacity);
     cost.checkpoint_stall_ms =
-        checkpoint_pause_ms /
-        std::max(1.0, seconds_to_fill * workload.commit_rate_tps);
+        inv.checkpoint_pause_ms /
+        std::max(1.0, seconds_to_fill * commit_rate_tps);
   }
 
-  // ---- Write amplification from durability features.
-  if (config.doublewrite) cost.write_amplification += 0.8;
-  if (config.flush_method != 2) {
-    // Buffered IO double-copies through the OS page cache.
-    cost.write_amplification += 0.25;
-    cost.commit_cost_ms *= 1.05;
-  }
-
+  cost.write_amplification = inv.base_write_amplification;
+  cost.commit_cost_ms *= inv.commit_cost_multiplier;
   return cost;
 }
 

@@ -8,6 +8,8 @@
 #ifndef HUNTER_COMMON_RNG_H_
 #define HUNTER_COMMON_RNG_H_
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -64,6 +66,20 @@ class Rng {
   // Returns an independent generator deterministically derived from this
   // one's stream (useful for giving each clone / tree / thread its own RNG).
   Rng Fork();
+
+  // Exact fingerprint of the draw-relevant generator state: the four
+  // xoshiro256** words plus the Box-Muller cache (flag + cached value, the
+  // latter bit-cast so NaN-free doubles compare exactly). Two generators
+  // with equal fingerprints produce identical draw sequences. The Zipf
+  // constants are deliberately excluded — they are a pure function of the
+  // last (n, theta) arguments, not of the stream position, so they cannot
+  // change what is drawn next. Used as the seed-stream component of the
+  // simulated engine's steady-state memo key.
+  std::array<uint64_t, 6> StateFingerprint() const {
+    return {state_[0], state_[1], state_[2], state_[3],
+            has_cached_gaussian_ ? 1ull : 0ull,
+            std::bit_cast<uint64_t>(cached_gaussian_)};
+  }
 
  private:
   void SeedState(uint64_t seed);

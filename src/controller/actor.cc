@@ -65,6 +65,8 @@ Actor::AttemptOutcome Actor::Attempt(const std::vector<double>& normalized,
     return out;
   }
 
+  pre_run_state_ = clone_->CaptureState();
+  has_pre_run_state_ = true;
   const cdb::PerfResult result = clone_->StressTest(workload);
   const double slowdown =
       injector_ != nullptr ? injector_->ExecutionSlowdown(clone_id_, op) : 1.0;
@@ -77,6 +79,10 @@ Actor::AttemptOutcome Actor::Attempt(const std::vector<double>& normalized,
   out.sample.fitness = cdb::Fitness(
       alpha_, {result.throughput_tps, result.latency_p95_ms}, defaults);
   return out;
+}
+
+void Actor::RollbackLastRun() {
+  if (has_pre_run_state_) clone_->RestoreState(pre_run_state_);
 }
 
 cdb::PerformanceSummary Actor::MeasureDefaults(

@@ -72,6 +72,13 @@ class Actor {
                                           int repeats,
                                           double* deploy_seconds = nullptr);
 
+  // Rolls the clone back to its state just before the last StressTest.
+  // The Controller calls this when it cancels a straggling attempt: a
+  // cancelled run's random draws should not consume the clone's stream, so
+  // the retry replays the identical evaluation — which also makes it
+  // servable by the instance's steady-state memo cache.
+  void RollbackLastRun();
+
   cdb::CdbInstance& instance() { return *clone_; }
   int clone_id() const { return clone_id_; }
   uint64_t ops() const { return op_serial_; }
@@ -86,6 +93,8 @@ class Actor {
   int clone_id_ = 0;
   const common::FaultInjector* injector_ = nullptr;  // not owned
   uint64_t op_serial_ = 0;  // per-clone operation counter (fault stream key)
+  cdb::CdbInstance::StateSnapshot pre_run_state_;
+  bool has_pre_run_state_ = false;
 };
 
 }  // namespace hunter::controller

@@ -41,6 +41,8 @@ Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
   const int clones = std::max(1, options.num_clones);
   const common::FaultInjector* injector =
       injector_.enabled() ? &injector_ : nullptr;
+  // Clones inherit the memo-cache policy from the user instance.
+  user_instance_->set_eval_cache_enabled(options.engine_memo_cache);
   actors_.reserve(static_cast<size_t>(clones));
   for (int i = 0; i < clones; ++i) {
     actors_.push_back(std::make_unique<Actor>(
@@ -75,6 +77,11 @@ Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
       metrics_registry_.RegisterHistogram("controller.round_seconds");
   clone_utilization_hist_ =
       metrics_registry_.RegisterHistogram("controller.clone_utilization");
+  eval_cache_hits_counter_ =
+      metrics_registry_.RegisterCounter("engine.eval_cache_hits");
+  eval_cache_misses_counter_ =
+      metrics_registry_.RegisterCounter("engine.eval_cache_misses");
+  lane_cache_seen_.resize(actors_.size());
 }
 
 const cdb::PerformanceSummary& Controller::DefaultPerformance() {
@@ -108,8 +115,26 @@ void Controller::ReplaceActor(size_t lane) {
       injector_.enabled() ? &injector_ : nullptr;
   actors_[lane] = std::make_unique<Actor>(
       user_instance_->Clone(), options_.alpha, next_clone_id_++, injector);
+  lane_cache_seen_[lane] = {};  // fresh clone, fresh cache stats
   ++fault_stats_.reclones;
   reclones_counter_->Increment();
+}
+
+void Controller::HarvestEvalCacheStats() {
+  for (size_t l = 0; l < actors_.size(); ++l) {
+    const cdb::CdbInstance::EvalCacheStats& now =
+        actors_[l]->instance().eval_cache_stats();
+    cdb::CdbInstance::EvalCacheStats& seen = lane_cache_seen_[l];
+    if (now.hits > seen.hits) {
+      eval_cache_hits_counter_->Increment(
+          static_cast<double>(now.hits - seen.hits));
+    }
+    if (now.misses > seen.misses) {
+      eval_cache_misses_counter_->Increment(
+          static_cast<double>(now.misses - seen.misses));
+    }
+    seen = now;
+  }
 }
 
 void Controller::MarkEvaluationFailed(Sample* sample,
@@ -143,6 +168,18 @@ std::vector<Sample> Controller::EvaluateBatch(
                                 queue.begin() + static_cast<long>(lanes));
     queue.erase(queue.begin(), queue.begin() + static_cast<long>(lanes));
 
+    // Honor lane affinity: a rolled-back straggler retry must land on the
+    // clone that was rolled back for the replay (and thus the memo hit) to
+    // materialize. First claimant wins a contested lane.
+    for (size_t i = 0; i < lanes; ++i) {
+      const int p = items[i].preferred_lane;
+      if (p >= 0 && static_cast<size_t>(p) < lanes &&
+          static_cast<size_t>(p) != i &&
+          items[static_cast<size_t>(p)].preferred_lane < 0) {
+        std::swap(items[i], items[static_cast<size_t>(p)]);
+      }
+    }
+
     // The lane names key on the clone that ran the attempt; capture before
     // any permanent death swaps the actor out.
     std::vector<int> clone_ids(lanes);
@@ -169,6 +206,9 @@ std::vector<Sample> Controller::EvaluateBatch(
                                 defaults);
       }
     }
+    // Sweep cache stats before any permanent death swaps an actor out (its
+    // final attempt must still be counted).
+    HarvestEvalCacheStats();
 
     // The round costs as much as its slowest lane (all clones run in
     // parallel); each lane additionally pays its item's backoff and any
@@ -199,6 +239,8 @@ std::vector<Sample> Controller::EvaluateBatch(
       add("backoff", "_backoff", item.backoff_seconds);
 
       bool requeue = false;
+      bool requeue_front = false;  // stragglers retry first, on their lane
+      int preferred_lane = -1;
       int next_attempt = item.attempt;
       switch (out.status) {
         case Actor::AttemptStatus::kOk: {
@@ -208,8 +250,13 @@ std::vector<Sample> Controller::EvaluateBatch(
                   options_.straggler_timeout_seconds &&
               item.attempt < options_.max_retries;
           if (timed_out) {
-            // Cancel at the timeout and requeue onto whichever clone is
-            // free next round; the abandoned run cost deploy + timeout.
+            // Cancel at the timeout and requeue at the front of the queue
+            // with affinity for this lane; the abandoned run cost deploy +
+            // timeout.
+            // Roll the clone back to its pre-run state: a cancelled run
+            // consumes no random draws, so the retry is an exact replay —
+            // which the engine's memo cache then serves without real CPU.
+            actors_[l]->RollbackLastRun();
             add("deploy", "_deploy", out.timing.deploy_seconds);
             add("execution", "_stress_cancelled",
                 options_.straggler_timeout_seconds);
@@ -217,6 +264,8 @@ std::vector<Sample> Controller::EvaluateBatch(
             straggler_counter_->Increment();
             fault_event("straggler_timeout");
             requeue = true;
+            requeue_front = true;
+            preferred_lane = static_cast<int>(l);
             next_attempt = item.attempt + 1;
           } else {
             add("deploy", "_deploy", out.timing.deploy_seconds);
@@ -301,7 +350,13 @@ std::vector<Sample> Controller::EvaluateBatch(
           backoff = options_.retry_backoff_seconds *
                     std::pow(2.0, static_cast<double>(next_attempt - 1));
         }
-        queue.push_back(WorkItem{item.index, next_attempt, backoff});
+        const WorkItem retry{item.index, next_attempt, backoff,
+                             preferred_lane};
+        if (requeue_front) {
+          queue.push_front(retry);
+        } else {
+          queue.push_back(retry);
+        }
       }
       double lane_seconds = 0.0;
       for (const LaneCharge& c : lane_charges[l]) lane_seconds += c.seconds;

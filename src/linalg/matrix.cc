@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <utility>
 
 namespace hunter::linalg {
 
@@ -320,7 +322,182 @@ Matrix Covariance(const Matrix& data) {
   return cov;
 }
 
+namespace {
+
+// Sorts (diag, vectors-as-columns) into an EigenResult with eigenvalues
+// descending — shared by the QL and Jacobi paths so both report identically
+// ordered eigenpairs.
+EigenResult SortedEigenResult(const std::vector<double>& diag,
+                              const Matrix& vectors) {
+  const size_t n = diag.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t lhs, size_t rhs) { return diag[lhs] > diag[rhs]; });
+
+  EigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (size_t out = 0; out < n; ++out) {
+    const size_t src = order[out];
+    result.eigenvalues[out] = diag[src];
+    for (size_t k = 0; k < n; ++k) {
+      result.eigenvectors.At(k, out) = vectors.At(k, src);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 EigenResult SymmetricEigen(const Matrix& symmetric, int max_sweeps) {
+  assert(symmetric.rows() == symmetric.cols());
+  const size_t n = symmetric.rows();
+  if (n == 0) return EigenResult{{}, Matrix()};
+
+  // Stage 1 — Householder reduction to tridiagonal form (classic tred2):
+  // n-2 reflections, each annihilating one row/column tail. `z` starts as a
+  // working copy of the input and finishes holding the accumulated
+  // orthogonal transform Q (A = Q T Q^T); `d` holds the diagonal of T and
+  // `e` the subdiagonal. Unlike Jacobi — which chases every off-diagonal
+  // element across O(sweeps) full passes — the reduction touches each
+  // element a bounded number of times, which is where the speedup on PCA's
+  // 63 x 63 covariance comes from.
+  Matrix z = symmetric;
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+  const int ni = static_cast<int>(n);
+  auto zat = [&z](int r, int c) -> double& {
+    return z.At(static_cast<size_t>(r), static_cast<size_t>(c));
+  };
+  auto dat = [&d](int i) -> double& { return d[static_cast<size_t>(i)]; };
+  auto eat = [&e](int i) -> double& { return e[static_cast<size_t>(i)]; };
+
+  for (int i = ni - 1; i > 0; --i) {
+    const int l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (int k = 0; k < i; ++k) scale += std::abs(zat(i, k));
+      if (scale == 0.0) {
+        eat(i) = zat(i, l);
+      } else {
+        for (int k = 0; k < i; ++k) {
+          zat(i, k) /= scale;
+          h += zat(i, k) * zat(i, k);
+        }
+        double f = zat(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        eat(i) = scale * g;
+        h -= f * g;
+        zat(i, l) = f - g;
+        f = 0.0;
+        for (int j = 0; j < i; ++j) {
+          zat(j, i) = zat(i, j) / h;
+          g = 0.0;
+          for (int k = 0; k < j + 1; ++k) g += zat(j, k) * zat(i, k);
+          for (int k = j + 1; k < i; ++k) g += zat(k, j) * zat(i, k);
+          eat(j) = g / h;
+          f += eat(j) * zat(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int j = 0; j < i; ++j) {
+          f = zat(i, j);
+          g = eat(j) - hh * f;
+          eat(j) = g;
+          for (int k = 0; k < j + 1; ++k) {
+            zat(j, k) -= f * eat(k) + g * zat(i, k);
+          }
+        }
+      }
+    } else {
+      eat(i) = zat(i, l);
+    }
+    dat(i) = h;
+  }
+  dat(0) = 0.0;
+  eat(0) = 0.0;
+  // Accumulate the product of the Householder reflections into z.
+  // (size_t induction: GCC's loop optimizer otherwise warns that the
+  // signed counters could overflow in an unreachable max-trip version.)
+  for (size_t ai = 0; ai < n; ++ai) {
+    if (d[ai] != 0.0) {
+      for (size_t j = 0; j < ai; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < ai; ++k) g += z.At(ai, k) * z.At(k, j);
+        for (size_t k = 0; k < ai; ++k) z.At(k, j) -= g * z.At(k, ai);
+      }
+    }
+    d[ai] = z.At(ai, ai);
+    z.At(ai, ai) = 1.0;
+    for (size_t j = 0; j < ai; ++j) {
+      z.At(j, ai) = 0.0;
+      z.At(ai, j) = 0.0;
+    }
+  }
+
+  // Stage 2 — implicit-shift QL on the tridiagonal (classic tqli), with the
+  // Givens rotations applied to z so its columns finish as eigenvectors of
+  // the original matrix. The Wilkinson shift makes each eigenvalue converge
+  // in 2-3 iterations; `max_sweeps` is a safety cap per eigenvalue (the
+  // Jacobi path degrades the same way when its sweep budget runs out).
+  for (int i = 1; i < ni; ++i) eat(i - 1) = eat(i);
+  eat(ni - 1) = 0.0;
+  for (int l = 0; l < ni; ++l) {
+    int iter = 0;
+    int m = l;
+    do {
+      for (m = l; m < ni - 1; ++m) {
+        const double dd = std::abs(dat(m)) + std::abs(dat(m + 1));
+        if (std::abs(eat(m)) <= std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (iter++ == max_sweeps) break;
+        double g = (dat(l + 1) - dat(l)) / (2.0 * eat(l));
+        double r = std::hypot(g, 1.0);
+        const double denom = g + (g >= 0.0 ? std::abs(r) : -std::abs(r));
+        g = dat(m) - dat(l) + eat(l) / denom;
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * eat(i);
+          const double b = c * eat(i);
+          r = std::hypot(f, g);
+          eat(i + 1) = r;
+          if (r == 0.0) {
+            dat(i + 1) -= p;
+            eat(m) = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = dat(i + 1) - p;
+          r = (dat(i) - g) * s + 2.0 * c * b;
+          p = s * r;
+          dat(i + 1) = g + p;
+          g = c * r - b;
+          for (int k = 0; k < ni; ++k) {
+            f = zat(k, i + 1);
+            zat(k, i + 1) = s * zat(k, i) + c * f;
+            zat(k, i) = c * zat(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        dat(l) -= p;
+        eat(l) = g;
+        eat(m) = 0.0;
+      }
+    } while (m != l);
+  }
+
+  return SortedEigenResult(d, z);
+}
+
+EigenResult SymmetricEigenJacobi(const Matrix& symmetric, int max_sweeps) {
   assert(symmetric.rows() == symmetric.cols());
   const size_t n = symmetric.rows();
   Matrix a = symmetric;
@@ -367,25 +544,9 @@ EigenResult SymmetricEigen(const Matrix& symmetric, int max_sweeps) {
     }
   }
 
-  // Sort eigenpairs by descending eigenvalue.
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
   std::vector<double> diag(n);
   for (size_t i = 0; i < n; ++i) diag[i] = a.At(i, i);
-  std::sort(order.begin(), order.end(),
-            [&](size_t lhs, size_t rhs) { return diag[lhs] > diag[rhs]; });
-
-  EigenResult result;
-  result.eigenvalues.resize(n);
-  result.eigenvectors = Matrix(n, n);
-  for (size_t out = 0; out < n; ++out) {
-    const size_t src = order[out];
-    result.eigenvalues[out] = diag[src];
-    for (size_t k = 0; k < n; ++k) {
-      result.eigenvectors.At(k, out) = v.At(k, src);
-    }
-  }
-  return result;
+  return SortedEigenResult(diag, v);
 }
 
 bool Cholesky(const Matrix& a, Matrix* lower) {
@@ -404,6 +565,34 @@ bool Cholesky(const Matrix& a, Matrix* lower) {
       }
     }
   }
+  return true;
+}
+
+bool CholeskyAppendRow(const std::vector<double>& new_row, Matrix* lower) {
+  const size_t n = lower->rows();
+  assert(lower->cols() == n);
+  assert(new_row.size() == n + 1);
+  // The appended row satisfies L(n, j) = (A(n, j) - sum_{k<j} L(n,k) L(j,k))
+  // / L(j, j) — exactly the recurrence full factorization evaluates for its
+  // last row, with the same operand values in the same order, so the grown
+  // factor matches a from-scratch refactorization bit for bit.
+  std::vector<double> row(n + 1, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double sum = new_row[j];
+    for (size_t k = 0; k < j; ++k) sum -= row[k] * lower->At(j, k);
+    row[j] = sum / lower->At(j, j);
+  }
+  double diag = new_row[n];
+  for (size_t k = 0; k < n; ++k) diag -= row[k] * row[k];
+  if (diag <= 0.0) return false;
+  row[n] = std::sqrt(diag);
+
+  Matrix grown(n + 1, n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) grown.At(i, j) = lower->At(i, j);
+  }
+  for (size_t j = 0; j <= n; ++j) grown.At(n, j) = row[j];
+  *lower = std::move(grown);
   return true;
 }
 

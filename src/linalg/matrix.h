@@ -41,6 +41,22 @@ void GemmBiasInto(const double* a, size_t m, size_t k, const double* b,
 void GemmTransposedAInto(const double* a, size_t k, size_t m, const double* b,
                          size_t n, bool accumulate, double* out);
 
+// Non-allocating view of one matrix row: a (pointer, length) pair into the
+// row-major storage. `Matrix::Row` copies into a fresh std::vector on every
+// call, which is fine for cold paths but dominates the GP kernel double loop
+// and Predict when called O(n^2) times per refit — hot loops take a RowSpan
+// instead (enforced by hunterlint's no-matrix-row-copy-in-loop rule). The
+// view is invalidated by anything that reallocates the matrix (Reshape to a
+// larger size, assignment, destruction).
+struct RowSpan {
+  const double* data = nullptr;
+  size_t size = 0;
+
+  double operator[](size_t i) const { return data[i]; }
+  const double* begin() const { return data; }
+  const double* end() const { return data + size; }
+};
+
 class Matrix {
  public:
   Matrix() = default;
@@ -70,6 +86,9 @@ class Matrix {
 
   std::vector<double> Row(size_t r) const;
   std::vector<double> Col(size_t c) const;
+
+  // Non-allocating row view; see RowSpan for the lifetime caveat.
+  RowSpan RowView(size_t r) const { return {data_.data() + r * cols_, cols_}; }
 
   Matrix Transpose() const;
   Matrix Multiply(const Matrix& other) const;
@@ -115,18 +134,38 @@ Matrix Standardize(const Matrix& data, bool unit_variance);
 // X^T X GEMM.
 Matrix Covariance(const Matrix& data);
 
-// Symmetric eigendecomposition via cyclic Jacobi rotations.
-// Returns eigenvalues in descending order with matching eigenvectors
-// (each eigenvector is a column of `eigenvectors`).
+// Symmetric eigendecomposition. Returns eigenvalues in descending order
+// with matching eigenvectors (each eigenvector is a column of
+// `eigenvectors`; signs are unspecified, as for any eigensolver).
 struct EigenResult {
   std::vector<double> eigenvalues;
   Matrix eigenvectors;
 };
+
+// Householder tridiagonalization + implicit-shift QL — O(n^3) with a small
+// constant, vs the cyclic Jacobi's O(n^3) *per sweep*. This is the
+// production path (PCA refits sit on it). `max_sweeps` bounds the QL
+// iterations spent per eigenvalue; convergence normally takes 2-3.
 EigenResult SymmetricEigen(const Matrix& symmetric, int max_sweeps = 64);
+
+// Cyclic Jacobi rotations — the original implementation, retained as the
+// independent reference oracle for the QL path (tested against it on random
+// symmetric matrices; see tests/linalg and bench_micro_hotpaths).
+EigenResult SymmetricEigenJacobi(const Matrix& symmetric, int max_sweeps = 64);
 
 // Cholesky factorization A = L * L^T of a symmetric positive-definite
 // matrix. Returns false if the matrix is not (numerically) SPD.
 bool Cholesky(const Matrix& a, Matrix* lower);
+
+// Grows a Cholesky factor by one row/column: on entry `lower` is the n x n
+// factor of the leading n x n block of an (n+1) x (n+1) symmetric matrix A,
+// and `new_row` holds A(n, 0..n) — the appended row including the new
+// diagonal element. On success `lower` becomes the (n+1) x (n+1) factor.
+// The appended row is computed by exactly the recurrence full factorization
+// uses for its last row, so the grown factor is bit-identical to
+// refactorizing from scratch. Returns false (leaving `lower` untouched) if
+// the appended diagonal is not numerically positive.
+bool CholeskyAppendRow(const std::vector<double>& new_row, Matrix* lower);
 
 // Solves A x = b given the Cholesky factor L (forward + back substitution).
 std::vector<double> CholeskySolve(const Matrix& lower,

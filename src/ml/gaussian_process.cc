@@ -1,5 +1,6 @@
 #include "ml/gaussian_process.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <numbers>
@@ -15,12 +16,28 @@ double NormalPdf(double z) {
 
 double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
 
+double ExpectedImprovementFrom(double mean, double variance,
+                               double best_so_far) {
+  const double sigma = std::sqrt(variance);
+  if (sigma < 1e-12) return std::max(0.0, mean - best_so_far);
+  const double z = (mean - best_so_far) / sigma;
+  return (mean - best_so_far) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+// Ascending dot product — the contraction order every GEMM kernel in linalg
+// commits to, so scalar values computed here are bit-identical to the
+// corresponding Gram / cross-kernel matrix elements.
+double DotAscending(const double* a, const double* b, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
 }  // namespace
 
-double GaussianProcess::Kernel(const std::vector<double>& a,
-                               const std::vector<double>& b) const {
+double GaussianProcess::Kernel(linalg::RowSpan a, linalg::RowSpan b) const {
   double sq = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < a.size; ++i) {
     const double d = a[i] - b[i];
     sq += d * d;
   }
@@ -28,21 +45,66 @@ double GaussianProcess::Kernel(const std::vector<double>& a,
   return options_.signal_variance * std::exp(-0.5 * sq / ls);
 }
 
+double GaussianProcess::KernelFromParts(double norm_a, double norm_b,
+                                        double dot) const {
+  // The expansion can go infinitesimally negative for near-identical points;
+  // clamp like the direct formula's guaranteed-nonnegative sum of squares.
+  const double sq = std::max(0.0, norm_a + norm_b - 2.0 * dot);
+  const double ls = options_.length_scale * options_.length_scale;
+  return options_.signal_variance * std::exp(-0.5 * sq / ls);
+}
+
+bool GaussianProcess::ExtendsTrainingSet(const linalg::Matrix& x,
+                                         const std::vector<double>& y) const {
+  const size_t old_n = train_x_.rows();
+  if (!fitted_ || old_n == 0) return false;
+  if (x.rows() <= old_n || x.cols() != train_x_.cols()) return false;
+  // Bit-exact prefix comparison: the tuners rebuild their sample window
+  // from the same stored vectors each Observe, so while the window is still
+  // filling the prefix matches exactly; once it slides, it does not.
+  if (!std::equal(train_x_.data().begin(), train_x_.data().end(),
+                  x.data().begin())) {
+    return false;
+  }
+  return std::equal(train_y_.begin(), train_y_.end(), y.begin());
+}
+
 bool GaussianProcess::Fit(const linalg::Matrix& x,
                           const std::vector<double>& y) {
   assert(x.rows() == y.size());
-  train_x_ = x;
-  train_y_ = y;
+  if (ExtendsTrainingSet(x, y)) {
+    if (FitIncremental(x, y)) return true;
+    // A non-SPD append (ill-conditioned new row) falls back to the full
+    // factorization, which applies its own SPD check.
+  }
+  return FitFull(x, y);
+}
+
+bool GaussianProcess::FitFull(const linalg::Matrix& x,
+                              const std::vector<double>& y) {
   const size_t n = x.rows();
-  y_mean_ = 0.0;
-  for (double v : y) y_mean_ += v;
-  if (n > 0) y_mean_ /= static_cast<double>(n);
+  train_x_ = x;
+  train_xt_ = x.Transpose();
+  train_y_ = y;
+
+  // Gram matrix G = X Xᵀ in one GEMM, then K(i,j) from the squared-distance
+  // expansion. The row norms are read off G's diagonal so the expansion
+  // yields exactly zero distance on the diagonal (nᵢ + nᵢ − 2nᵢ) and so the
+  // incremental path below can reproduce these exact values.
+  linalg::Matrix gram(n, n);
+  if (n > 0) {
+    linalg::GemmTransposedAInto(train_xt_.Data(), x.cols(), n,
+                                train_xt_.Data(), n, /*accumulate=*/false,
+                                gram.Data());
+  }
+  row_norms_.resize(n);
+  for (size_t i = 0; i < n; ++i) row_norms_[i] = gram.At(i, i);
 
   linalg::Matrix k(n, n);
   for (size_t i = 0; i < n; ++i) {
-    const std::vector<double> xi = x.Row(i);
     for (size_t j = i; j < n; ++j) {
-      const double value = Kernel(xi, x.Row(j));
+      const double value =
+          KernelFromParts(row_norms_[i], row_norms_[j], gram.At(i, j));
       k.At(i, j) = value;
       k.At(j, i) = value;
     }
@@ -52,11 +114,58 @@ bool GaussianProcess::Fit(const linalg::Matrix& x,
     fitted_ = false;
     return false;
   }
+  ++full_refits_;
+  RecomputeAlpha(y);
+  fitted_ = true;
+  return true;
+}
+
+bool GaussianProcess::FitIncremental(const linalg::Matrix& x,
+                                     const std::vector<double>& y) {
+  const size_t old_n = train_x_.rows();
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  // Stage the appends on copies so a non-SPD row leaves the fitted state
+  // untouched for the full-refit fallback.
+  linalg::Matrix chol = chol_;
+  std::vector<double> norms = row_norms_;
+  std::vector<double> k_new;
+  for (size_t r = old_n; r < n; ++r) {
+    const linalg::RowSpan xr = x.RowView(r);
+    // Ascending self-dot == what the Gram GEMM's diagonal would hold.
+    const double norm_r = DotAscending(xr.data, xr.data, d);
+    k_new.assign(r + 1, 0.0);
+    for (size_t j = 0; j < r; ++j) {
+      k_new[j] = KernelFromParts(norms[j], norm_r,
+                                 DotAscending(x.RowView(j).data, xr.data, d));
+    }
+    // Diagonal: zero distance exactly, as in the full path.
+    k_new[r] = KernelFromParts(norm_r, norm_r, norm_r) +
+               options_.noise_variance;
+    if (!linalg::CholeskyAppendRow(k_new, &chol)) return false;
+    norms.push_back(norm_r);
+  }
+
+  chol_ = std::move(chol);
+  row_norms_ = std::move(norms);
+  train_x_ = x;
+  train_xt_ = x.Transpose();
+  train_y_ = y;
+  ++incremental_updates_;
+  RecomputeAlpha(y);
+  fitted_ = true;
+  return true;
+}
+
+void GaussianProcess::RecomputeAlpha(const std::vector<double>& y) {
+  const size_t n = y.size();
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  if (n > 0) y_mean_ /= static_cast<double>(n);
   std::vector<double> centered(n);
   for (size_t i = 0; i < n; ++i) centered[i] = y[i] - y_mean_;
   alpha_ = linalg::CholeskySolve(chol_, centered);
-  fitted_ = true;
-  return true;
 }
 
 GaussianProcess::Prediction GaussianProcess::Predict(
@@ -67,8 +176,9 @@ GaussianProcess::Prediction GaussianProcess::Predict(
     return prediction;
   }
   const size_t n = train_x_.rows();
+  const linalg::RowSpan q{x.data(), x.size()};
   std::vector<double> k_star(n);
-  for (size_t i = 0; i < n; ++i) k_star[i] = Kernel(x, train_x_.Row(i));
+  for (size_t i = 0; i < n; ++i) k_star[i] = Kernel(q, train_x_.RowView(i));
 
   double mean = y_mean_;
   for (size_t i = 0; i < n; ++i) mean += k_star[i] * alpha_[i];
@@ -78,17 +188,76 @@ GaussianProcess::Prediction GaussianProcess::Predict(
   const std::vector<double> v = linalg::CholeskySolve(chol_, k_star);
   double reduction = 0.0;
   for (size_t i = 0; i < n; ++i) reduction += k_star[i] * v[i];
-  prediction.variance = std::max(0.0, Kernel(x, x) - reduction);
+  prediction.variance = std::max(0.0, Kernel(q, q) - reduction);
   return prediction;
 }
 
 double GaussianProcess::ExpectedImprovement(const std::vector<double>& x,
                                             double best_so_far) const {
   const Prediction p = Predict(x);
-  const double sigma = std::sqrt(p.variance);
-  if (sigma < 1e-12) return std::max(0.0, p.mean - best_so_far);
-  const double z = (p.mean - best_so_far) / sigma;
-  return (p.mean - best_so_far) * NormalCdf(z) + sigma * NormalPdf(z);
+  return ExpectedImprovementFrom(p.mean, p.variance, best_so_far);
+}
+
+void GaussianProcess::PredictBatch(const linalg::Matrix& x,
+                                   std::vector<Prediction>* out) const {
+  const size_t m = x.rows();
+  out->assign(m, Prediction{});
+  if (!fitted_) {
+    for (auto& p : *out) p.variance = options_.signal_variance;
+    return;
+  }
+  const size_t n = train_x_.rows();
+  const size_t d = train_x_.cols();
+  assert(x.cols() == d);
+
+  // Cross-kernel in one GEMM: C = Xq Xᵀ (m x n), then per-query k* rows via
+  // the same expansion the training kernel uses.
+  cross_.Reshape(m, n);
+  if (m > 0 && n > 0) {
+    linalg::GemmInto(x.Data(), m, d, train_xt_.Data(), n,
+                     /*accumulate=*/false, cross_.Data());
+  }
+  query_norms_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const linalg::RowSpan q = x.RowView(i);
+    query_norms_[i] = DotAscending(q.data, q.data, d);
+  }
+
+  k_star_.resize(n);
+  forward_.resize(n);
+  for (size_t i = 0; i < m; ++i) {
+    double mean = y_mean_;
+    for (size_t j = 0; j < n; ++j) {
+      k_star_[j] =
+          KernelFromParts(query_norms_[i], row_norms_[j], cross_.At(i, j));
+      mean += k_star_[j] * alpha_[j];
+    }
+    // Forward substitution only: with w = L^{-1} k*, the quadratic form
+    // k*ᵀ (L Lᵀ)^{-1} k* is exactly wᵀw — the back substitution the scalar
+    // path performs just re-derives it through Lᵀ.
+    double reduction = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      double sum = k_star_[j];
+      for (size_t k = 0; k < j; ++k) sum -= chol_.At(j, k) * forward_[k];
+      forward_[j] = sum / chol_.At(j, j);
+      reduction += forward_[j] * forward_[j];
+    }
+    // k(x,x) via the expansion is exactly signal_variance (zero distance).
+    (*out)[i].mean = mean;
+    (*out)[i].variance = std::max(0.0, options_.signal_variance - reduction);
+  }
+}
+
+void GaussianProcess::ExpectedImprovementBatch(const linalg::Matrix& x,
+                                               double best_so_far,
+                                               std::vector<double>* out) const {
+  PredictBatch(x, &batch_predictions_);
+  out->resize(batch_predictions_.size());
+  for (size_t i = 0; i < batch_predictions_.size(); ++i) {
+    (*out)[i] = ExpectedImprovementFrom(batch_predictions_[i].mean,
+                                        batch_predictions_[i].variance,
+                                        best_so_far);
+  }
 }
 
 }  // namespace hunter::ml

@@ -31,38 +31,58 @@ std::vector<std::vector<double>> OtterTuneTuner::Propose(size_t count) {
       proposals.push_back(std::move(random));
       continue;
     }
-    // Maximize the acquisition over random + local candidates.
+    // Maximize the acquisition over random + local candidates: draw the
+    // whole candidate set first (the exact RNG order of the former
+    // per-candidate loop), score it in one batch pass, then keep the first
+    // maximum (strictly-greater comparison, as before).
+    const size_t local = best_knobs_.empty() ? 0 : options_.local_candidates;
+    const size_t total = options_.candidates + local;
+    candidate_matrix_.Reshape(total, dim_);
+    for (size_t c = 0; c < options_.candidates; ++c) {
+      for (size_t d = 0; d < dim_; ++d) {
+        candidate_matrix_.At(c, d) = rng_.Uniform();
+      }
+    }
+    for (size_t c = 0; c < local; ++c) {
+      for (size_t d = 0; d < dim_; ++d) {
+        candidate_matrix_.At(options_.candidates + c, d) = std::clamp(
+            best_knobs_[d] + rng_.Gaussian(0.0, options_.local_sigma), 0.0,
+            1.0);
+      }
+    }
+    AcquisitionBatch(candidate_matrix_, &candidate_scores_);
     std::vector<double> best_candidate(dim_, 0.5);
     double best_score = -std::numeric_limits<double>::infinity();
-    auto consider = [&](std::vector<double> candidate) {
-      const double score = Acquisition(candidate);
-      if (score > best_score) {
-        best_score = score;
-        best_candidate = std::move(candidate);
-      }
-    };
-    for (size_t c = 0; c < options_.candidates; ++c) {
-      std::vector<double> candidate(dim_);
-      for (double& v : candidate) v = rng_.Uniform();
-      consider(std::move(candidate));
-    }
-    if (!best_knobs_.empty()) {
-      for (size_t c = 0; c < options_.local_candidates; ++c) {
-        std::vector<double> candidate = best_knobs_;
-        for (double& v : candidate) {
-          v = std::clamp(v + rng_.Gaussian(0.0, options_.local_sigma), 0.0,
-                         1.0);
-        }
-        consider(std::move(candidate));
+    size_t best_index = total;
+    for (size_t c = 0; c < total; ++c) {
+      if (candidate_scores_[c] > best_score) {
+        best_score = candidate_scores_[c];
+        best_index = c;
       }
     }
-    proposals.push_back(best_candidate);
+    if (best_index < total) {
+      const linalg::RowSpan row = candidate_matrix_.RowView(best_index);
+      best_candidate.assign(row.begin(), row.end());
+    }
+    proposals.push_back(std::move(best_candidate));
   }
   return proposals;
 }
 
 double OtterTuneTuner::Acquisition(const std::vector<double>& candidate) const {
   return gp_.ExpectedImprovement(candidate, best_fitness_);
+}
+
+void OtterTuneTuner::AcquisitionBatch(const linalg::Matrix& candidates,
+                                      std::vector<double>* scores) const {
+  gp_.ExpectedImprovementBatch(candidates, best_fitness_, scores);
+}
+
+void OtterTuneTuner::BindObservability(obs::Journal* journal) {
+  gp_full_refit_counter_ =
+      journal->registry()->RegisterCounter("tuner.gp_full_refits");
+  gp_incremental_counter_ =
+      journal->registry()->RegisterCounter("tuner.gp_incremental_refits");
 }
 
 void OtterTuneTuner::Observe(const std::vector<controller::Sample>& samples) {
@@ -92,6 +112,17 @@ void OtterTuneTuner::RefitGp() {
     y[i] = observed_fitness_[start + i];
   }
   gp_.Fit(x, y);
+  // Export the refit-kind counters as journal deltas. Observe runs on the
+  // harness (coordination) thread, respecting the registry's threading
+  // contract.
+  if (gp_full_refit_counter_ != nullptr) {
+    gp_full_refit_counter_->Increment(
+        static_cast<double>(gp_.full_refits() - last_full_refits_));
+    gp_incremental_counter_->Increment(static_cast<double>(
+        gp_.incremental_updates() - last_incremental_updates_));
+  }
+  last_full_refits_ = gp_.full_refits();
+  last_incremental_updates_ = gp_.incremental_updates();
 }
 
 }  // namespace hunter::tuners

@@ -8,12 +8,15 @@
 #ifndef HUNTER_TUNERS_OTTERTUNE_H_
 #define HUNTER_TUNERS_OTTERTUNE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "linalg/matrix.h"
 #include "ml/gaussian_process.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "tuners/tuner.h"
 
 namespace hunter::tuners {
@@ -34,10 +37,19 @@ class OtterTuneTuner : public Tuner {
   std::string name() const override { return "OtterTune"; }
   std::vector<std::vector<double>> Propose(size_t count) override;
   void Observe(const std::vector<controller::Sample>& samples) override;
+  void BindObservability(obs::Journal* journal) override;
 
  protected:
   // ResTune subclasses this and biases the acquisition.
   virtual double Acquisition(const std::vector<double>& candidate) const;
+
+  // Scores one candidate per row of `candidates` into `scores` (resized).
+  // Propose uses this — the whole EI candidate set is scored in one
+  // GEMM-backed pass instead of per-candidate kernel loops. The base
+  // implementation matches Acquisition row-for-row; ResTune overrides both
+  // consistently.
+  virtual void AcquisitionBatch(const linalg::Matrix& candidates,
+                                std::vector<double>* scores) const;
 
   size_t dim_;
   OtterTuneOptions options_;
@@ -51,6 +63,16 @@ class OtterTuneTuner : public Tuner {
 
  private:
   void RefitGp();
+
+  // Candidate-scoring scratch, reused across Propose calls.
+  linalg::Matrix candidate_matrix_;
+  std::vector<double> candidate_scores_;
+
+  // GP refit observability (null when unbound).
+  obs::Counter* gp_full_refit_counter_ = nullptr;
+  obs::Counter* gp_incremental_counter_ = nullptr;
+  uint64_t last_full_refits_ = 0;
+  uint64_t last_incremental_updates_ = 0;
 };
 
 }  // namespace hunter::tuners

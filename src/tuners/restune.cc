@@ -10,25 +10,30 @@ void ResTuneTuner::AddHistoricalModel(
   base_models_.push_back({std::move(model), std::move(workload_features)});
 }
 
+double ResTuneTuner::WorkloadSimilarity(const BaseModel& base) const {
+  // RBF over workload-feature distance.
+  double sq = 0.0;
+  const size_t n = std::min(base.features.size(), target_features_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double d = base.features[i] - target_features_[i];
+    sq += d * d;
+  }
+  return std::exp(-sq / 0.5);
+}
+
 double ResTuneTuner::Acquisition(const std::vector<double>& candidate) const {
   // Target EI as in OtterTune.
   double score = gp_.ExpectedImprovement(candidate, best_fitness_);
   if (base_models_.empty()) return score;
 
-  // Blend in historical models, weighted by workload similarity (RBF over
-  // feature distance). Historical weight shrinks as target evidence grows.
+  // Blend in historical models, weighted by workload similarity. Historical
+  // weight shrinks as target evidence grows.
   const double evidence = static_cast<double>(observed_fitness_.size());
   const double meta_weight = 1.0 / (1.0 + 0.1 * evidence);
   double meta_score = 0.0;
   double weight_sum = 0.0;
   for (const BaseModel& base : base_models_) {
-    double sq = 0.0;
-    const size_t n = std::min(base.features.size(), target_features_.size());
-    for (size_t i = 0; i < n; ++i) {
-      const double d = base.features[i] - target_features_[i];
-      sq += d * d;
-    }
-    const double similarity = std::exp(-sq / 0.5);
+    const double similarity = WorkloadSimilarity(base);
     meta_score +=
         similarity * base.gp->ExpectedImprovement(candidate, best_fitness_);
     weight_sum += similarity;
@@ -38,6 +43,35 @@ double ResTuneTuner::Acquisition(const std::vector<double>& candidate) const {
             meta_weight * (meta_score / weight_sum);
   }
   return score;
+}
+
+void ResTuneTuner::AcquisitionBatch(const linalg::Matrix& candidates,
+                                    std::vector<double>* scores) const {
+  // Target EI for the whole candidate set in one batched pass.
+  gp_.ExpectedImprovementBatch(candidates, best_fitness_, scores);
+  if (base_models_.empty()) return;
+
+  // One batched EI pass per base model, accumulated per candidate in base
+  // order — the same per-candidate addition sequence as the scalar path.
+  const double evidence = static_cast<double>(observed_fitness_.size());
+  const double meta_weight = 1.0 / (1.0 + 0.1 * evidence);
+  std::vector<double> meta_scores(candidates.rows(), 0.0);
+  double weight_sum = 0.0;
+  for (const BaseModel& base : base_models_) {
+    const double similarity = WorkloadSimilarity(base);
+    base.gp->ExpectedImprovementBatch(candidates, best_fitness_,
+                                      &base_scores_);
+    for (size_t c = 0; c < meta_scores.size(); ++c) {
+      meta_scores[c] += similarity * base_scores_[c];
+    }
+    weight_sum += similarity;
+  }
+  if (weight_sum > 1e-9) {
+    for (size_t c = 0; c < meta_scores.size(); ++c) {
+      (*scores)[c] = (1.0 - meta_weight) * (*scores)[c] +
+                     meta_weight * (meta_scores[c] / weight_sum);
+    }
+  }
 }
 
 }  // namespace hunter::tuners

@@ -37,14 +37,21 @@ class ResTuneTuner : public OtterTuneTuner {
 
  protected:
   double Acquisition(const std::vector<double>& candidate) const override;
+  void AcquisitionBatch(const linalg::Matrix& candidates,
+                        std::vector<double>* scores) const override;
 
  private:
   struct BaseModel {
     std::shared_ptr<ml::GaussianProcess> gp;
     std::vector<double> features;
   };
+  double WorkloadSimilarity(const BaseModel& base) const;
+
   std::vector<BaseModel> base_models_;
   std::vector<double> target_features_;
+
+  // Batch-scoring scratch, reused across Propose calls.
+  mutable std::vector<double> base_scores_;
 };
 
 }  // namespace hunter::tuners

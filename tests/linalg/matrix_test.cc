@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+
 namespace hunter::linalg {
 namespace {
 
@@ -247,6 +249,124 @@ TEST(CholeskyTest, SolveRecoversSolution) {
   ASSERT_TRUE(Cholesky(a, &lower));
   const std::vector<double> x = CholeskySolve(lower, b);
   for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Householder + QL production eigensolver vs. the retained Jacobi oracle,
+// and the rank-1 Cholesky row-append the incremental GP is built on.
+
+Matrix RandomSymmetric(size_t n, common::Rng* rng) {
+  Matrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c <= r; ++c) {
+      const double v = rng->Uniform(-1.0, 1.0);
+      m.At(r, c) = v;
+      m.At(c, r) = v;
+    }
+  }
+  return m;
+}
+
+Matrix RandomSpd(size_t n, common::Rng* rng) {
+  // B Bᵀ + n·I is comfortably positive definite.
+  const Matrix b = RandomSymmetric(n, rng);
+  Matrix spd = b.Multiply(b.Transpose());
+  for (size_t i = 0; i < n; ++i) spd.At(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+// Eigenvalues must match the oracle; eigenvectors are sign-ambiguous, so
+// check them through the reconstruction A = V diag(λ) Vᵀ instead.
+void ExpectMatchesJacobiOracle(const Matrix& m) {
+  const size_t n = m.rows();
+  const EigenResult ql = SymmetricEigen(m);
+  const EigenResult jacobi = SymmetricEigenJacobi(m);
+  ASSERT_EQ(ql.eigenvalues.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ql.eigenvalues[i], jacobi.eigenvalues[i], 1e-8)
+        << "eigenvalue " << i << " of " << n;
+  }
+  Matrix diag(n, n);
+  for (size_t i = 0; i < n; ++i) diag.At(i, i) = ql.eigenvalues[i];
+  const Matrix rec =
+      ql.eigenvectors.Multiply(diag).Multiply(ql.eigenvectors.Transpose());
+  const Matrix vtv = ql.eigenvectors.Transpose().Multiply(ql.eigenvectors);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(rec.At(r, c), m.At(r, c), 1e-8);
+      EXPECT_NEAR(vtv.At(r, c), r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, QlMatchesJacobiOnRandomSymmetricMatrices) {
+  common::Rng rng(7);
+  for (const size_t n : {3u, 5u, 8u, 13u, 21u}) {
+    ExpectMatchesJacobiOracle(RandomSymmetric(n, &rng));
+  }
+}
+
+TEST(EigenTest, QlHandlesTrivialSizes) {
+  ExpectMatchesJacobiOracle(Matrix(std::vector<std::vector<double>>{{4.0}}));
+  ExpectMatchesJacobiOracle(Matrix({{2, 1}, {1, 2}}));
+  ExpectMatchesJacobiOracle(Matrix({{3, 0}, {0, 3}}));
+}
+
+TEST(EigenTest, QlHandlesRepeatedEigenvalues) {
+  // diag(2, 2, 1) rotated into a dense basis: a genuinely degenerate pair.
+  common::Rng rng(11);
+  const Matrix q = SymmetricEigen(RandomSymmetric(3, &rng)).eigenvectors;
+  Matrix d(3, 3);
+  d.At(0, 0) = 2.0;
+  d.At(1, 1) = 2.0;
+  d.At(2, 2) = 1.0;
+  const Matrix degenerate = q.Multiply(d).Multiply(q.Transpose());
+  ExpectMatchesJacobiOracle(degenerate);
+  // And the fully degenerate case.
+  Matrix scaled_identity(4, 4);
+  for (size_t i = 0; i < 4; ++i) scaled_identity.At(i, i) = 2.5;
+  ExpectMatchesJacobiOracle(scaled_identity);
+}
+
+TEST(CholeskyTest, AppendRowIsBitIdenticalToRefactorization) {
+  common::Rng rng(13);
+  for (const size_t n : {1u, 2u, 5u, 12u}) {
+    const Matrix full = RandomSpd(n + 1, &rng);
+    Matrix leading(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) leading.At(r, c) = full.At(r, c);
+    }
+    Matrix grown;
+    ASSERT_TRUE(Cholesky(leading, &grown));
+    ASSERT_TRUE(CholeskyAppendRow(full.Row(n), &grown));
+
+    Matrix refactored;
+    ASSERT_TRUE(Cholesky(full, &refactored));
+    ASSERT_EQ(grown.rows(), n + 1);
+    for (size_t r = 0; r <= n; ++r) {
+      for (size_t c = 0; c <= n; ++c) {
+        // Exact equality: the append runs the same recurrence on the same
+        // operands in the same order as the full factorization's last row.
+        EXPECT_EQ(grown.At(r, c), refactored.At(r, c))
+            << "(" << r << "," << c << ") at n=" << n;
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, AppendRowRejectsNonSpdAndLeavesFactorUntouched) {
+  Matrix a({{4, 2}, {2, 3}});
+  Matrix lower;
+  ASSERT_TRUE(Cholesky(a, &lower));
+  const Matrix before = lower;
+  // Appending a duplicate of row 0 makes the grown matrix singular.
+  EXPECT_FALSE(CholeskyAppendRow({4.0, 2.0, 4.0}, &lower));
+  ASSERT_EQ(lower.rows(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(lower.At(r, c), before.At(r, c));
+    }
+  }
 }
 
 }  // namespace

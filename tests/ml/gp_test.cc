@@ -77,6 +77,132 @@ TEST(GpTest, ExpectedImprovementNearZeroAtDominatedKnownPoint) {
             gp.ExpectedImprovement({0.2}, 2.0));
 }
 
+// ---------------------------------------------------------------------------
+// Incremental-fit and batch-scoring contracts (DESIGN.md §11).
+
+void MakeRandomTraining(size_t n, size_t d, common::Rng* rng, linalg::Matrix* x,
+                        std::vector<double>* y) {
+  *x = linalg::Matrix(n, d);
+  y->resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    double label = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      const double v = rng->Uniform(0.0, 1.0);
+      x->At(r, c) = v;
+      label += v * static_cast<double>(c + 1) * 0.3;
+    }
+    (*y)[r] = std::sin(label) + rng->Gaussian(0.0, 0.05);
+  }
+}
+
+linalg::Matrix RowSlice(const linalg::Matrix& x, size_t begin, size_t end) {
+  linalg::Matrix out(end - begin, x.cols());
+  for (size_t r = begin; r < end; ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) out.At(r - begin, c) = x.At(r, c);
+  }
+  return out;
+}
+
+TEST(GpTest, IncrementalFitMatchesFullRefit) {
+  common::Rng rng(101);
+  const size_t n = 30;
+  const size_t d = 5;
+  linalg::Matrix x;
+  std::vector<double> y;
+  MakeRandomTraining(n, d, &rng, &x, &y);
+
+  GaussianProcess incremental;
+  for (size_t m = 3; m <= n; ++m) {
+    std::vector<double> ym(y.begin(), y.begin() + static_cast<long>(m));
+    ASSERT_TRUE(incremental.Fit(RowSlice(x, 0, m), ym));
+  }
+  EXPECT_EQ(incremental.full_refits(), 1u);  // only the first Fit
+  EXPECT_EQ(incremental.incremental_updates(), n - 3);
+
+  GaussianProcess full;
+  ASSERT_TRUE(full.Fit(x, y));
+  EXPECT_EQ(full.full_refits(), 1u);
+
+  for (int p = 0; p < 20; ++p) {
+    std::vector<double> q(d);
+    for (double& v : q) v = rng.Uniform(0.0, 1.0);
+    const auto pi = incremental.Predict(q);
+    const auto pf = full.Predict(q);
+    EXPECT_NEAR(pi.mean, pf.mean, 1e-9);
+    EXPECT_NEAR(pi.variance, pf.variance, 1e-9);
+    EXPECT_NEAR(incremental.ExpectedImprovement(q, 0.4),
+                full.ExpectedImprovement(q, 0.4), 1e-9);
+  }
+}
+
+TEST(GpTest, SlidingWindowFallsBackToFullRefit) {
+  common::Rng rng(102);
+  const size_t n = 12;
+  linalg::Matrix x;
+  std::vector<double> y;
+  MakeRandomTraining(n, 3, &rng, &x, &y);
+
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(RowSlice(x, 0, 8), {y.begin(), y.begin() + 8}));
+  ASSERT_TRUE(gp.Fit(RowSlice(x, 0, 9), {y.begin(), y.begin() + 9}));
+  EXPECT_EQ(gp.full_refits(), 1u);
+  EXPECT_EQ(gp.incremental_updates(), 1u);
+
+  // A slid window (drops the oldest row) is not an extension: full refit.
+  ASSERT_TRUE(gp.Fit(RowSlice(x, 1, 10), {y.begin() + 1, y.begin() + 10}));
+  EXPECT_EQ(gp.full_refits(), 2u);
+  EXPECT_EQ(gp.incremental_updates(), 1u);
+
+  GaussianProcess fresh;
+  ASSERT_TRUE(fresh.Fit(RowSlice(x, 1, 10), {y.begin() + 1, y.begin() + 10}));
+  for (int p = 0; p < 10; ++p) {
+    std::vector<double> q = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    EXPECT_NEAR(gp.Predict(q).mean, fresh.Predict(q).mean, 1e-12);
+    EXPECT_NEAR(gp.Predict(q).variance, fresh.Predict(q).variance, 1e-12);
+  }
+}
+
+TEST(GpTest, BatchPredictionMatchesScalarPath) {
+  common::Rng rng(103);
+  const size_t n = 25;
+  const size_t d = 4;
+  linalg::Matrix x;
+  std::vector<double> y;
+  MakeRandomTraining(n, d, &rng, &x, &y);
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y));
+
+  const size_t queries = 40;
+  linalg::Matrix q(queries, d);
+  for (size_t r = 0; r < queries; ++r) {
+    for (size_t c = 0; c < d; ++c) q.At(r, c) = rng.Uniform(-0.2, 1.2);
+  }
+  std::vector<GaussianProcess::Prediction> batch;
+  gp.PredictBatch(q, &batch);
+  std::vector<double> ei_batch;
+  gp.ExpectedImprovementBatch(q, 0.7, &ei_batch);
+  ASSERT_EQ(batch.size(), queries);
+  ASSERT_EQ(ei_batch.size(), queries);
+  for (size_t r = 0; r < queries; ++r) {
+    const auto scalar = gp.Predict(q.Row(r));
+    EXPECT_NEAR(batch[r].mean, scalar.mean, 1e-9);
+    EXPECT_NEAR(batch[r].variance, scalar.variance, 1e-9);
+    EXPECT_NEAR(ei_batch[r], gp.ExpectedImprovement(q.Row(r), 0.7), 1e-9);
+  }
+}
+
+TEST(GpTest, BatchOnUnfittedGpReturnsPrior) {
+  GaussianProcess gp;
+  linalg::Matrix q(std::vector<std::vector<double>>{{0.1}, {0.9}});
+  std::vector<GaussianProcess::Prediction> batch;
+  gp.PredictBatch(q, &batch);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& p : batch) {
+    EXPECT_DOUBLE_EQ(p.mean, 0.0);
+    EXPECT_DOUBLE_EQ(p.variance, 1.0);
+  }
+}
+
 TEST(GpTest, FitsMultiDimensionalFunction) {
   common::Rng rng(1);
   const size_t n = 60;

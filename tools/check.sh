@@ -5,9 +5,12 @@
 #      on top of the always-on -Wall -Wextra)
 #   2. hunterlint over src/ tests/ bench/ examples/
 #   3. the full tier-1 ctest suite (includes the `lint` and `perf` labels)
-#   4. a tracecat smoke: emit two same-seed run journals, require them
+#   4. the hot-path micro-benchmarks in smoke mode: one rep per benchmark,
+#      gating on the golden equivalence checks (optimized paths must match
+#      their seed-faithful reference implementations), not on timings
+#   5. a tracecat smoke: emit two same-seed run journals, require them
 #      byte-identical, and render a breakdown + a cross-seed diff
-#   5. a sanitizer smoke: `ctest -L concurrency` under TSan
+#   6. a sanitizer smoke: `ctest -L concurrency` under TSan
 #
 # Run from anywhere: paths are resolved relative to the repo root. Build
 # trees land in build-check/ and build-check-tsan/ (both gitignored).
@@ -16,17 +19,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/5] configure + build (HUNTER_WERROR=ON) =="
+echo "== [1/6] configure + build (HUNTER_WERROR=ON) =="
 cmake -B build-check -S . -DHUNTER_WERROR=ON
 cmake --build build-check -j "$JOBS"
 
-echo "== [2/5] hunterlint =="
+echo "== [2/6] hunterlint =="
 ./build-check/tools/hunterlint/hunterlint --root . src tests bench examples
 
-echo "== [3/5] tier-1 tests =="
+echo "== [3/6] tier-1 tests =="
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "== [4/5] tracecat smoke =="
+echo "== [4/6] bench equivalence smoke =="
+( cd build-check && ./bench/bench_micro_hotpaths --mode=smoke \
+    --out bench_hotpaths_smoke.json )
+
+echo "== [5/6] tracecat smoke =="
 SMOKE_DIR="build-check/tracecat-smoke"
 mkdir -p "$SMOKE_DIR"
 ./build-check/examples/trace_journal "$SMOKE_DIR/seed42_a.jsonl" 42
@@ -40,7 +47,7 @@ cmp "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed42_b.jsonl" || {
 ./build-check/tools/tracecat/tracecat diff \
   "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed43.jsonl"
 
-echo "== [5/5] TSan concurrency smoke =="
+echo "== [6/6] TSan concurrency smoke =="
 cmake -B build-check-tsan -S . -DHUNTER_SANITIZE=thread
 cmake --build build-check-tsan -j "$JOBS"
 ctest --test-dir build-check-tsan -L concurrency --output-on-failure -j "$JOBS"

@@ -229,6 +229,64 @@ TEST(JournalEmitTest, ObsModuleAndNonJournalStringsAreLegal) {
 }
 
 // --------------------------------------------------------------------------
+// no-matrix-row-copy-in-loop
+
+TEST(NoMatrixRowCopyTest, FlagsRowCopiesInLoopBodies) {
+  const std::vector<Violation> vs = LintFile(
+      "src/ml/gaussian_process.cc",
+      "void F(const linalg::Matrix& m) {\n"
+      "  for (size_t r = 0; r < m.rows(); ++r) {\n"
+      "    auto row = m.Row(r);\n"
+      "  }\n"
+      "  for (size_t r = 0; r < m.rows(); ++r) Use(m.Row(r));\n"
+      "}\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-matrix-row-copy-in-loop", 3},
+                                   {"no-matrix-row-copy-in-loop", 5}}));
+}
+
+TEST(NoMatrixRowCopyTest, NestedLoopsFlagOnce) {
+  const std::vector<Violation> vs = LintFile(
+      "src/linalg/pca.cc",
+      "void F(const Matrix& m, const Matrix* p) {\n"
+      "  for (size_t r = 0; r < m.rows(); ++r) {\n"
+      "    for (size_t c = 0; c < m.cols(); ++c) {\n"
+      "      Use(p->Row(c));\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-matrix-row-copy-in-loop", 4}}));
+}
+
+TEST(NoMatrixRowCopyTest, OutOfScopeFilesAndNonLoopUsesAreLegal) {
+  // Identical code outside src/ml/ and src/linalg/: legal.
+  EXPECT_TRUE(LintFile("src/controller/actor.cc",
+                       "void F() { for (;;) { auto r = m.Row(0); } }\n")
+                  .empty());
+  // A row copy outside any loop: legal.
+  EXPECT_TRUE(LintFile("src/ml/gaussian_process.cc",
+                       "void F() { auto r = m.Row(0); }\n")
+                  .empty());
+  // The non-allocating view inside a loop: legal.
+  EXPECT_TRUE(LintFile("src/ml/gaussian_process.cc",
+                       "void F() {\n"
+                       "  for (size_t r = 0; r < m.rows(); ++r) {\n"
+                       "    auto v = m.RowView(r);\n"
+                       "  }\n"
+                       "}\n")
+                  .empty());
+}
+
+TEST(NoMatrixRowCopyTest, SuppressibleWithReason) {
+  EXPECT_TRUE(
+      LintFile("src/ml/gaussian_process.cc",
+               "// hunterlint: allow(no-matrix-row-copy-in-loop) mutated copy\n"
+               "for (size_t r = 0; r < n; ++r) rows.push_back(m.Row(r));\n")
+          .empty());
+}
+
+// --------------------------------------------------------------------------
 // header hygiene
 
 TEST(HeaderHygieneTest, RequiresGuardOnlyInHeaders) {
@@ -360,6 +418,14 @@ TEST(FixtureTest, RawJournal) {
   EXPECT_EQ(RulesAndLines(LintFixture("violations/raw_journal.cc")),
             (std::vector<RuleLine>{{"journal-emit-through-obs", 7},
                                    {"journal-emit-through-obs", 11}}));
+}
+
+TEST(FixtureTest, MatrixRowCopy) {
+  EXPECT_EQ(
+      RulesAndLines(LintFixture("violations/src/ml/matrix_row_copy.cc")),
+      (std::vector<RuleLine>{{"no-matrix-row-copy-in-loop", 10},
+                             {"no-matrix-row-copy-in-loop", 14},
+                             {"no-matrix-row-copy-in-loop", 17}}));
 }
 
 TEST(FixtureTest, BadHeader) {

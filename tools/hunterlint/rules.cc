@@ -365,6 +365,68 @@ void CheckJournalEmit(const FileCtx& ctx, std::vector<Violation>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// no-matrix-row-copy-in-loop
+
+// linalg::Matrix::Row() allocates a fresh std::vector per call; inside a
+// loop body in the ml/linalg hot paths that is an O(iterations) allocation
+// churn the non-allocating RowView/RowSpan exists to avoid. The directory
+// scope is substring-matched ("src/ml/", "src/linalg/") so test fixtures
+// that mirror the tree under testdata/ stay in scope.
+void CheckNoMatrixRowCopyInLoop(const FileCtx& ctx,
+                                std::vector<Violation>* out) {
+  if (ctx.rel_path.find("src/ml/") == std::string::npos &&
+      ctx.rel_path.find("src/linalg/") == std::string::npos) {
+    return;
+  }
+  const TokenVec& toks = ctx.lex->tokens;
+  // Token indices already flagged — a `.Row(` inside nested loops falls in
+  // several bodies but must be reported once.
+  std::unordered_set<size_t> flagged;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || toks[i].text != "for" ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    // Matching close paren of the for header.
+    size_t close = 0;
+    int depth = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      else if (toks[j].text == ")" && --depth == 0) { close = j; break; }
+    }
+    if (close == 0 || close + 1 >= toks.size()) continue;
+    // Body token range: a braced block, or a single statement up to its
+    // `;`. (A nested braced loop as the single statement is still covered:
+    // the outer scan visits every `for` token independently.)
+    const size_t begin = close + 1;
+    size_t end = 0;
+    if (toks[begin].text == "{") {
+      int braces = 0;
+      for (size_t j = begin; j < toks.size(); ++j) {
+        if (toks[j].text == "{") ++braces;
+        else if (toks[j].text == "}" && --braces == 0) { end = j; break; }
+      }
+    } else {
+      for (size_t j = begin; j < toks.size(); ++j) {
+        if (toks[j].text == ";") { end = j; break; }
+      }
+    }
+    if (end == 0) continue;
+    for (size_t j = begin; j + 2 <= end; ++j) {
+      if ((toks[j].text == "." || toks[j].text == "->") &&
+          TokText(toks, j + 1) == "Row" && IsIdent(toks, j + 1) &&
+          TokText(toks, j + 2) == "(" && flagged.insert(j + 1).second) {
+        out->push_back(
+            {"no-matrix-row-copy-in-loop", ctx.rel_path, toks[j + 1].line,
+             "Matrix::Row() allocates a fresh vector every iteration — use "
+             "the non-allocating RowView()/RowSpan in hot loops, or hoist "
+             "the copy out of the loop"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // header hygiene
 
 void CheckHeaderGuard(const FileCtx& ctx, std::vector<Violation>* out) {
@@ -435,6 +497,7 @@ const std::vector<std::string>& AllRuleNames() {
       "no-naked-thread",
       "no-unordered-iteration-emit",
       "journal-emit-through-obs",
+      "no-matrix-row-copy-in-loop",
       "header-guard",
       "no-using-namespace-header",
       "include-style",
@@ -465,6 +528,11 @@ std::string RuleDescription(const std::string& rule) {
            "(\"type\":\"span\"/... or the hunter.journal schema tag) "
            "outside src/obs/ — journal bytes must go through obs::Journal";
   }
+  if (rule == "no-matrix-row-copy-in-loop") {
+    return "flags allocating Matrix::Row() calls inside for-loop bodies "
+           "under src/ml/ and src/linalg/ — hot loops take the "
+           "non-allocating RowView()/RowSpan instead";
+  }
   if (rule == "header-guard") {
     return "headers must start with #pragma once or a matched "
            "#ifndef/#define guard";
@@ -492,6 +560,7 @@ std::vector<Violation> RunRules(const FileCtx& ctx) {
   CheckNakedThread(ctx, &out);
   CheckUnorderedIterationEmit(ctx, &out);
   CheckJournalEmit(ctx, &out);
+  CheckNoMatrixRowCopyInLoop(ctx, &out);
   if (ctx.is_header) {
     CheckHeaderGuard(ctx, &out);
     CheckUsingNamespaceHeader(ctx, &out);

@@ -9,6 +9,9 @@
 //   no-naked-thread            all parallelism flows through common::ThreadPool
 //   no-unordered-iteration-emit  files that produce ordered output must not
 //                              range-for over unordered containers
+//   no-matrix-row-copy-in-loop  ml/linalg hot loops must not call the
+//                              allocating Matrix::Row() per iteration —
+//                              they take the non-allocating RowView/RowSpan
 //   header-guard               headers carry #pragma once or a matched
 //                              #ifndef/#define include guard
 //   no-using-namespace-header  headers must not inject namespaces

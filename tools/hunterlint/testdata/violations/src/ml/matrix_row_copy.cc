@@ -1,0 +1,24 @@
+// Fixture: allocating Matrix::Row() copies inside for-loop bodies. The
+// rule's directory scope is substring-matched, so this file (under
+// .../violations/src/ml/) is in scope even though it lives in testdata/.
+
+#include "linalg/matrix.h"
+
+double SumRows(const hunter::linalg::Matrix& m) {
+  double total = 0.0;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const std::vector<double> row = m.Row(r);  // flagged: copy per iteration
+    for (double v : row) total += v;
+  }
+  for (size_t r = 0; r < m.rows(); ++r)
+    total += m.Row(r)[0];  // flagged: single-statement body
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      total += m.Row(r)[c];  // flagged once, not once per enclosing loop
+    }
+  }
+  const std::vector<double> outside = m.Row(0);  // legal: not in a loop
+  // hunterlint: allow(no-matrix-row-copy-in-loop) fixture: copy is mutated
+  for (size_t r = 0; r < m.rows(); ++r) total += m.Row(r)[1];
+  return total + outside[0];
+}
