@@ -6,6 +6,7 @@
 
 namespace hunter::cdb {
 
+// hunterlint: hot
 LockSimResult LockManager::Simulate(const LockSimConfig& config,
                                     common::Rng* rng) {
   LockSimResult result;

@@ -104,6 +104,7 @@ bool SimulatedEngine::ValidateBoot(const Configuration& config,
   return true;
 }
 
+// hunterlint: hot
 PerfResult SimulatedEngine::Run(const Configuration& config,
                                 const WorkloadProfile& workload,
                                 bool warm_start, common::Rng* rng) const {

@@ -58,11 +58,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // workers_ is written only in the constructor and joined after stopping_
+  // flips, so it needs no guard; the queue and stop flag are shared with
+  // every worker and must only be touched under mutex_ (lint-enforced).
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::function<void()>> queue_;  // hunterlint: guarded_by(mutex_)
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ = false;  // hunterlint: guarded_by(mutex_)
 };
 
 }  // namespace hunter::common

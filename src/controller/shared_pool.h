@@ -31,7 +31,7 @@ class SharedPool {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<Sample> samples_;
+  std::vector<Sample> samples_;  // hunterlint: guarded_by(mutex_)
 };
 
 }  // namespace hunter::controller

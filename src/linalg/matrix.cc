@@ -38,6 +38,7 @@ enum class PanelInit { kLoad, kZero, kBias };
 // column of the k x m operand). Either way the contraction index kk
 // ascends, matching the per-sample dot-product / gradient-accumulation
 // order.
+// hunterlint: hot
 template <bool kTransposedA, size_t kJw, PanelInit kInit>
 void GemmPanel(const double* __restrict a, size_t m, size_t k,
                const double* __restrict b, size_t n, size_t j0, size_t jw_in,
@@ -84,6 +85,7 @@ void GemmPanel(const double* __restrict a, size_t m, size_t k,
   }
 }
 
+// hunterlint: hot
 template <bool kTransposedA, PanelInit kInit>
 void GemmDispatch(const double* __restrict a, size_t m, size_t k,
                   const double* __restrict b, size_t n,
@@ -549,6 +551,7 @@ EigenResult SymmetricEigenJacobi(const Matrix& symmetric, int max_sweeps) {
   return SortedEigenResult(diag, v);
 }
 
+// hunterlint: hot
 bool Cholesky(const Matrix& a, Matrix* lower) {
   assert(a.rows() == a.cols());
   const size_t n = a.rows();
@@ -568,6 +571,7 @@ bool Cholesky(const Matrix& a, Matrix* lower) {
   return true;
 }
 
+// hunterlint: hot
 bool CholeskyAppendRow(const std::vector<double>& new_row, Matrix* lower) {
   const size_t n = lower->rows();
   assert(lower->cols() == n);
@@ -596,6 +600,7 @@ bool CholeskyAppendRow(const std::vector<double>& new_row, Matrix* lower) {
   return true;
 }
 
+// hunterlint: hot
 std::vector<double> CholeskySolve(const Matrix& lower,
                                   const std::vector<double>& b) {
   const size_t n = lower.rows();

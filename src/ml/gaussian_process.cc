@@ -198,6 +198,7 @@ double GaussianProcess::ExpectedImprovement(const std::vector<double>& x,
   return ExpectedImprovementFrom(p.mean, p.variance, best_so_far);
 }
 
+// hunterlint: hot
 void GaussianProcess::PredictBatch(const linalg::Matrix& x,
                                    std::vector<Prediction>* out) const {
   const size_t m = x.rows();
@@ -248,6 +249,7 @@ void GaussianProcess::PredictBatch(const linalg::Matrix& x,
   }
 }
 
+// hunterlint: hot
 void GaussianProcess::ExpectedImprovementBatch(const linalg::Matrix& x,
                                                double best_so_far,
                                                std::vector<double>* out) const {

@@ -46,6 +46,7 @@ size_t Pca::ComponentsForVariance(double threshold) const {
   return explained_ratio_.size();
 }
 
+// hunterlint: hot
 std::vector<double> Pca::Transform(const std::vector<double>& row,
                                    size_t k) const {
   assert(fitted_);
@@ -67,6 +68,7 @@ std::vector<double> Pca::Transform(const std::vector<double>& row,
   return projected;
 }
 
+// hunterlint: hot
 linalg::Matrix Pca::TransformMatrix(const linalg::Matrix& data,
                                     size_t k) const {
   assert(fitted_);

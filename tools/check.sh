@@ -3,37 +3,46 @@
 #
 #   1. configure + build with HUNTER_WERROR=ON (-Werror -Wshadow -Wconversion
 #      on top of the always-on -Wall -Wextra)
-#   2. hunterlint over src/ tests/ bench/ examples/
+#   2. hunterlint over src/ tests/ bench/ examples/ against the checked-in
+#      debt baseline (empty, and ratcheted non-increasing)
 #   3. the full tier-1 ctest suite (includes the `lint` and `perf` labels)
 #   4. the hot-path micro-benchmarks in smoke mode: one rep per benchmark,
 #      gating on the golden equivalence checks (optimized paths must match
 #      their seed-faithful reference implementations), not on timings
 #   5. a tracecat smoke: emit two same-seed run journals, require them
 #      byte-identical, and render a breakdown + a cross-seed diff
-#   6. a sanitizer smoke: `ctest -L concurrency` under TSan
+#   6. a lint-report smoke: two `hunterlint --format=json` runs over the
+#      tree must be byte-identical (lintdiff exit 0), and lintdiff must
+#      report a real difference (exit 1) between the tree and the
+#      violation fixtures
+#   7. a sanitizer smoke: `ctest -L concurrency` under TSan
+#   8. a sanitizer smoke: `ctest -L concurrency` under ASan+LSan with
+#      ASAN_OPTIONS=detect_leaks=1 so leaks fail at exit
 #
 # Run from anywhere: paths are resolved relative to the repo root. Build
-# trees land in build-check/ and build-check-tsan/ (both gitignored).
+# trees land in build-check/, build-check-tsan/, and build-check-asan/
+# (all gitignored).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/6] configure + build (HUNTER_WERROR=ON) =="
+echo "== [1/8] configure + build (HUNTER_WERROR=ON) =="
 cmake -B build-check -S . -DHUNTER_WERROR=ON
 cmake --build build-check -j "$JOBS"
 
-echo "== [2/6] hunterlint =="
-./build-check/tools/hunterlint/hunterlint --root . src tests bench examples
+echo "== [2/8] hunterlint (baseline ratchet) =="
+./build-check/tools/hunterlint/hunterlint --root . \
+    --baseline tools/hunterlint/baseline.json src tests bench examples
 
-echo "== [3/6] tier-1 tests =="
+echo "== [3/8] tier-1 tests =="
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "== [4/6] bench equivalence smoke =="
+echo "== [4/8] bench equivalence smoke =="
 ( cd build-check && ./bench/bench_micro_hotpaths --mode=smoke \
     --out bench_hotpaths_smoke.json )
 
-echo "== [5/6] tracecat smoke =="
+echo "== [5/8] tracecat smoke =="
 SMOKE_DIR="build-check/tracecat-smoke"
 mkdir -p "$SMOKE_DIR"
 ./build-check/examples/trace_journal "$SMOKE_DIR/seed42_a.jsonl" 42
@@ -47,9 +56,36 @@ cmp "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed42_b.jsonl" || {
 ./build-check/tools/tracecat/tracecat diff \
   "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed43.jsonl"
 
-echo "== [6/6] TSan concurrency smoke =="
+echo "== [6/8] lint-report determinism (lintdiff) =="
+LINT_DIR="build-check/lint-smoke"
+mkdir -p "$LINT_DIR"
+./build-check/tools/hunterlint/hunterlint --root . --format=json \
+    src tests bench examples > "$LINT_DIR/tree_a.json"
+./build-check/tools/hunterlint/hunterlint --root . --format=json \
+    src tests bench examples > "$LINT_DIR/tree_b.json"
+./build-check/tools/lintdiff/lintdiff "$LINT_DIR/tree_a.json" \
+    "$LINT_DIR/tree_b.json"
+# The fixture report must differ from the clean tree: a non-empty diff is
+# lintdiff exit 1, so the gate FAILS if it claims the reports are identical.
+./build-check/tools/hunterlint/hunterlint \
+    --root tools/hunterlint/testdata --format=json violations \
+    > "$LINT_DIR/fixtures.json" || true
+if ./build-check/tools/lintdiff/lintdiff "$LINT_DIR/tree_a.json" \
+    "$LINT_DIR/fixtures.json" > /dev/null; then
+  echo "lintdiff smoke: failed to distinguish tree from fixtures" >&2
+  exit 1
+fi
+
+echo "== [7/8] TSan concurrency smoke =="
 cmake -B build-check-tsan -S . -DHUNTER_SANITIZE=thread
 cmake --build build-check-tsan -j "$JOBS"
 ctest --test-dir build-check-tsan -L concurrency --output-on-failure -j "$JOBS"
+
+echo "== [8/8] ASan+LSan concurrency smoke =="
+cmake -B build-check-asan -S . -DHUNTER_SANITIZE=address
+cmake --build build-check-asan -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-check-asan -L concurrency --output-on-failure \
+      -j "$JOBS"
 
 echo "check.sh: all gates passed"

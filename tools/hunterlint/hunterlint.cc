@@ -5,8 +5,10 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "hunterlint/lexer.h"
+#include "hunterlint/sem.h"
 
 namespace hunter::lint {
 
@@ -28,7 +30,8 @@ std::string Trim(const std::string& s) {
 
 // Parses every `hunterlint: allow(rule) reason` directive out of a comment.
 // Malformed directives (no parenthesized rule) are ignored — they read as
-// prose mentioning hunterlint, not as annotations.
+// prose mentioning hunterlint, not as annotations. The semantic directives
+// (guarded_by/requires/hot) are parsed separately in sem.cc.
 void ParseAnnotations(const Comment& comment,
                       std::vector<Suppression>* out) {
   const std::string kMarker = "hunterlint:";
@@ -65,31 +68,57 @@ bool IsLintableExtension(const std::filesystem::path& p) {
          ext == ".cxx";
 }
 
-}  // namespace
+// One lexed + parsed file, held across the two LintTree phases so the
+// merged ProjectModel (phase 1) can inform every file's rules (phase 2).
+struct ParsedFile {
+  std::string rel_path;
+  bool is_header = false;
+  LexedFile lex;
+  FileModel model;
+  std::vector<Suppression> sups;
+};
 
-std::vector<Violation> LintFile(const std::string& rel_path,
-                                const std::string& source) {
-  const LexedFile lexed = Lex(source);
-
-  FileCtx ctx;
-  ctx.rel_path = rel_path;
-  ctx.lex = &lexed;
+ParsedFile ParseSource(const std::string& rel_path,
+                       const std::string& source) {
+  ParsedFile pf;
+  pf.rel_path = rel_path;
   const size_t dot = rel_path.find_last_of('.');
   const std::string ext =
       (dot == std::string::npos) ? "" : rel_path.substr(dot);
-  ctx.is_header = (ext == ".h" || ext == ".hpp");
-
-  std::vector<Violation> raw = RunRules(ctx);
-
-  std::vector<Suppression> sups;
-  for (const Comment& comment : lexed.comments) {
-    ParseAnnotations(comment, &sups);
+  pf.is_header = (ext == ".h" || ext == ".hpp");
+  pf.lex = Lex(source);
+  pf.model = BuildFileModel(pf.lex);
+  for (const Comment& comment : pf.lex.comments) {
+    ParseAnnotations(comment, &pf.sups);
   }
+  return pf;
+}
 
+// Token + semantic rules for one file against the merged project model.
+// `extra` carries violations computed globally but attributed to this file
+// (deadlock-order cycle edges).
+std::vector<Violation> RunFileRules(const ParsedFile& pf,
+                                    const ProjectModel& project,
+                                    std::vector<LockEdge>* edges,
+                                    std::vector<Violation> extra) {
+  FileCtx ctx;
+  ctx.rel_path = pf.rel_path;
+  ctx.lex = &pf.lex;
+  ctx.is_header = pf.is_header;
+  std::vector<Violation> out = RunRules(ctx);
+  RunSemanticRules(ctx, pf.model, project, &out, edges);
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
+// Applies `allow(...)` suppressions, then polices the annotations
+// themselves, then orders by line.
+std::vector<Violation> ApplySuppressions(const ParsedFile& pf,
+                                         const std::vector<Violation>& raw) {
   std::vector<Violation> out;
   for (const Violation& v : raw) {
     bool suppressed = false;
-    for (const Suppression& sup : sups) {
+    for (const Suppression& sup : pf.sups) {
       if (sup.rule != v.rule || !sup.has_reason) continue;
       if (sup.line == v.line || (sup.owns_line && sup.line + 1 == v.line)) {
         suppressed = true;
@@ -102,13 +131,13 @@ std::vector<Violation> LintFile(const std::string& rel_path,
   // Police the annotations themselves. These meta findings are never
   // suppressible: an escape hatch only stays trustworthy if every use of
   // it carries a reviewable reason.
-  for (const Suppression& sup : sups) {
+  for (const Suppression& sup : pf.sups) {
     if (!IsKnownRule(sup.rule)) {
-      out.push_back({"unknown-rule", rel_path, sup.line,
+      out.push_back({"unknown-rule", pf.rel_path, sup.line,
                      "hunterlint annotation names unknown rule '" +
                          sup.rule + "' (see hunterlint --list-rules)"});
     } else if (!sup.has_reason) {
-      out.push_back({"suppression-needs-reason", rel_path, sup.line,
+      out.push_back({"suppression-needs-reason", pf.rel_path, sup.line,
                      "hunterlint: allow(" + sup.rule +
                          ") must be followed by a written reason"});
     }
@@ -118,6 +147,19 @@ std::vector<Violation> LintFile(const std::string& rel_path,
       out.begin(), out.end(),
       [](const Violation& a, const Violation& b) { return a.line < b.line; });
   return out;
+}
+
+}  // namespace
+
+std::vector<Violation> LintFile(const std::string& rel_path,
+                                const std::string& source) {
+  const ParsedFile pf = ParseSource(rel_path, source);
+  ProjectModel project;
+  MergeFileModel(pf.model, &project);
+  std::vector<LockEdge> edges;
+  std::vector<Violation> raw = RunFileRules(pf, project, &edges, {});
+  CheckDeadlockOrder(edges, &raw);
+  return ApplySuppressions(pf, raw);
 }
 
 std::vector<std::string> CollectFiles(const std::string& root,
@@ -151,7 +193,13 @@ std::vector<std::string> CollectFiles(const std::string& root,
 
 std::vector<Violation> LintTree(const std::string& root,
                                 const std::vector<std::string>& rel_paths) {
+  // Phase 1: lex and parse everything, merging each file's symbol table
+  // into the project model. `guarded_by` annotations live on field
+  // declarations in headers while the guarded accesses live in .cc files,
+  // so the rules cannot run until every file has been parsed.
   std::vector<Violation> out;
+  std::vector<ParsedFile> parsed;
+  ProjectModel project;
   for (const std::string& rel : rel_paths) {
     const std::filesystem::path abs = std::filesystem::path(root) / rel;
     std::ifstream in(abs, std::ios::binary);
@@ -161,8 +209,28 @@ std::vector<Violation> LintTree(const std::string& root,
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    std::vector<Violation> file_violations = LintFile(rel, buf.str());
-    out.insert(out.end(), file_violations.begin(), file_violations.end());
+    parsed.push_back(ParseSource(rel, buf.str()));
+    MergeFileModel(parsed.back().model, &project);
+  }
+
+  // Phase 2: run every rule per file against the merged model, collecting
+  // the lock-order edges globally; then attribute each deadlock-order
+  // finding back to the file that acquired the lock, so suppressions and
+  // per-file reporting behave exactly like any other rule.
+  std::vector<LockEdge> edges;
+  std::vector<std::vector<Violation>> per_file(parsed.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    per_file[i] = RunFileRules(parsed[i], project, &edges, {});
+  }
+  std::vector<Violation> deadlocks;
+  CheckDeadlockOrder(edges, &deadlocks);
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    for (const Violation& v : deadlocks) {
+      if (v.path == parsed[i].rel_path) per_file[i].push_back(v);
+    }
+    std::vector<Violation> final_violations =
+        ApplySuppressions(parsed[i], per_file[i]);
+    out.insert(out.end(), final_violations.begin(), final_violations.end());
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "hunterlint/lexer.h"
+#include "hunterlint/report.h"
 #include "hunterlint/rules.h"
 
 namespace hunter::lint {
@@ -65,6 +66,101 @@ TEST(LexerTest, KeepsScopeResolutionAsOneToken) {
   std::vector<std::string> texts;
   for (const Token& t : lexed.tokens) texts.push_back(t.text);
   EXPECT_EQ(texts, (std::vector<std::string>{"a", "::", "b", "c", ":", "d"}));
+}
+
+TEST(LexerTest, RawStringContentsDoNotLexAsTokens) {
+  const LexedFile lexed = Lex(
+      "const char* s = R\"(std::thread \"quoted\" \\n)\";\n"
+      "int after = 1;\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "thread") << "raw string interior leaked into tokens";
+  }
+  // The literal's value is the verbatim interior, backslashes included.
+  bool found = false;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokKind::kString) {
+      EXPECT_EQ(t.text, "std::thread \"quoted\" \\n");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, RawStringDelimiterAndLineNumbers) {
+  const LexedFile lexed = Lex(
+      "auto s = R\"x(contains )\" inside)x\";\n"
+      "auto t = R\"(line one\nline two)\";\n"
+      "int after = 1;\n");
+  // `after` sits on line 4: the second raw literal spans lines 2-3.
+  bool saw_after = false;
+  for (const Token& t : lexed.tokens) {
+    if (t.text == "after") {
+      saw_after = true;
+      EXPECT_EQ(t.line, 4);
+    }
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(LexerTest, RawStringPrefixMustBeAdjacent) {
+  // `R "x"` (space) and `FooR"x"` are ordinary literals, not raw ones: a
+  // raw parse would run off looking for )x" and swallow the rest.
+  const LexedFile a = Lex("auto v = R \"x\"; int tail = 1;\n");
+  const LexedFile b = Lex("auto v = FooR\"x\"; int tail = 1;\n");
+  for (const LexedFile* f : {&a, &b}) {
+    bool saw_tail = false;
+    for (const Token& t : f->tokens) saw_tail |= t.text == "tail";
+    EXPECT_TRUE(saw_tail);
+  }
+}
+
+TEST(LexerTest, DigitSeparatorsStayOneNumber) {
+  const LexedFile lexed = Lex("long n = 1'000'000; int k = 0xFF'00;\n");
+  std::vector<std::string> numbers;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokKind::kNumber) numbers.push_back(t.text);
+  }
+  EXPECT_EQ(numbers, (std::vector<std::string>{"1'000'000", "0xFF'00"}));
+}
+
+TEST(LexerTest, LineSplicesJoinIdentifiersAndComments) {
+  // `ab\<newline>c` is the single identifier abc, reported on its first
+  // line; a // comment ending in a backslash continues onto the next line,
+  // so `int swallowed` is comment text, not code.
+  const LexedFile lexed = Lex(
+      "int ab\\\nc = 1;\n"
+      "// trailing splice \\\nint swallowed = 2;\n"
+      "int after = 3;\n");
+  bool saw_joined = false;
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "swallowed");
+    if (t.text == "abc") {
+      saw_joined = true;
+      EXPECT_EQ(t.line, 1);
+    }
+    if (t.text == "after") {
+      EXPECT_EQ(t.line, 5);
+    }
+  }
+  EXPECT_TRUE(saw_joined);
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_NE(lexed.comments[0].text.find("swallowed"),
+            std::string::npos);
+}
+
+TEST(LexerTest, SpliceInsideStringAdvancesLineCounter) {
+  const LexedFile lexed = Lex(
+      "const char* s = \"split \\\nacross lines\";\n"
+      "int after = 1;\n");
+  for (const Token& t : lexed.tokens) {
+    if (t.text == "after") {
+      EXPECT_EQ(t.line, 3);
+    }
+    if (t.kind == TokKind::kString) {
+      // The splice itself is not part of the value.
+      EXPECT_EQ(t.text, "split across lines");
+    }
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -287,6 +383,287 @@ TEST(NoMatrixRowCopyTest, SuppressibleWithReason) {
 }
 
 // --------------------------------------------------------------------------
+// guarded-by
+
+TEST(GuardedByTest, LockGuardScopeCoversAccesses) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  void Ok() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    ++count_;\n"
+      "  }\n"
+      "  void Bad() { ++count_; }\n"
+      "  void AfterScope() {\n"
+      "    { std::lock_guard<std::mutex> lock(mu_); ++count_; }\n"
+      "    ++count_;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int count_ = 0;  // hunterlint: guarded_by(mu_)\n"
+      "};\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"guarded-by", 8},
+                                                      {"guarded-by", 11}}));
+}
+
+TEST(GuardedByTest, RequiresSeedsHeldSetAndPolicesCallers) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  void LockedCall() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    Bump();\n"
+      "  }\n"
+      "  void UnlockedCall() { Bump(); }\n"
+      " private:\n"
+      "  // hunterlint: requires(mu_)\n"
+      "  void Bump() { ++count_; }\n"
+      "  std::mutex mu_;\n"
+      "  int count_ = 0;  // hunterlint: guarded_by(mu_)\n"
+      "};\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"guarded-by", 8}}));
+}
+
+TEST(GuardedByTest, ConstructorsAndDestructorsAreExempt) {
+  EXPECT_TRUE(LintFile("src/cdb/foo.cc",
+                       "#include <mutex>\n"
+                       "class C {\n"
+                       " public:\n"
+                       "  C() { count_ = 0; }\n"
+                       "  ~C() { count_ = -1; }\n"
+                       " private:\n"
+                       "  std::mutex mu_;\n"
+                       "  int count_;  // hunterlint: guarded_by(mu_)\n"
+                       "};\n")
+                  .empty());
+}
+
+TEST(GuardedByTest, UniqueLockDeferThenManualLockUnlock) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::unique_lock<std::mutex> lk(mu_, std::defer_lock);\n"
+      "    ++count_;\n"
+      "    lk.lock();\n"
+      "    ++count_;\n"
+      "    lk.unlock();\n"
+      "    ++count_;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int count_ = 0;  // hunterlint: guarded_by(mu_)\n"
+      "};\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"guarded-by", 6},
+                                                      {"guarded-by", 10}}));
+}
+
+TEST(GuardedByTest, LambdasInheritTheHeldSet) {
+  // The canonical cv.wait(lock, predicate) shape: the predicate runs with
+  // the lock held, so its guarded accesses are legal.
+  EXPECT_TRUE(
+      LintFile("src/cdb/foo.cc",
+               "#include <condition_variable>\n"
+               "#include <mutex>\n"
+               "class C {\n"
+               " public:\n"
+               "  void Wait() {\n"
+               "    std::unique_lock<std::mutex> lock(mu_);\n"
+               "    cv_.wait(lock, [this] { return ready_; });\n"
+               "  }\n"
+               " private:\n"
+               "  std::mutex mu_;\n"
+               "  std::condition_variable cv_;\n"
+               "  bool ready_ = false;  // hunterlint: guarded_by(mu_)\n"
+               "};\n")
+          .empty());
+}
+
+TEST(GuardedByTest, OutOfLineMethodsResolveTheirClass) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  void Ok();\n"
+      "  void Bad();\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int count_ = 0;  // hunterlint: guarded_by(mu_)\n"
+      "};\n"
+      "void C::Ok() {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  ++count_;\n"
+      "}\n"
+      "void C::Bad() { ++count_; }\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"guarded-by", 14}}));
+}
+
+TEST(GuardedByTest, OtherObjectsMembersAreNotChecked) {
+  // `other->count_` is a different instance whose lock state we cannot
+  // track; only unqualified / this-> accesses are policed.
+  EXPECT_TRUE(LintFile("src/cdb/foo.cc",
+                       "#include <mutex>\n"
+                       "class C {\n"
+                       " public:\n"
+                       "  int Peek(const C* other) { return other->count_; }\n"
+                       " private:\n"
+                       "  std::mutex mu_;\n"
+                       "  int count_ = 0;  // hunterlint: guarded_by(mu_)\n"
+                       "};\n")
+                  .empty());
+}
+
+// --------------------------------------------------------------------------
+// no-alloc-in-hot-loop
+
+TEST(HotLoopTest, FlagsPerIterationAllocations) {
+  const std::vector<Violation> vs = LintFile(
+      "src/ml/foo.cc",
+      "#include <vector>\n"
+      "// hunterlint: hot\n"
+      "void F(std::vector<double>* out) {\n"
+      "  while (out->size() < 8) {\n"
+      "    out->push_back(0.0);\n"
+      "    double* p = new double[4];\n"
+      "    delete[] p;\n"
+      "  }\n"
+      "  for (int i = 0; i < 4; ++i) out->resize(8);\n"
+      "}\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"no-alloc-in-hot-loop", 5},
+                                   {"no-alloc-in-hot-loop", 6},
+                                   {"no-alloc-in-hot-loop", 9}}));
+}
+
+TEST(HotLoopTest, PreLoopAllocationAndColdFunctionsAreLegal) {
+  // Hoisted buffers before the loop are the fix the rule asks for; the
+  // same loop body in an unannotated function is out of scope.
+  EXPECT_TRUE(LintFile("src/ml/foo.cc",
+                       "#include <vector>\n"
+                       "// hunterlint: hot\n"
+                       "void Hot(std::vector<double>* out, int n) {\n"
+                       "  out->resize(static_cast<size_t>(n));\n"
+                       "  std::vector<double> tmp(4);\n"
+                       "  for (int i = 0; i < n; ++i) (*out)[i] = tmp[0];\n"
+                       "}\n"
+                       "void Cold(std::vector<double>* out, int n) {\n"
+                       "  for (int i = 0; i < n; ++i) out->push_back(0.0);\n"
+                       "}\n")
+                  .empty());
+}
+
+TEST(HotLoopTest, VectorTypeReferencesInLoopsAreLegal) {
+  // vector<T>& / vector<T>* mention the type without constructing one.
+  EXPECT_TRUE(LintFile(
+                  "src/ml/foo.cc",
+                  "#include <vector>\n"
+                  "// hunterlint: hot\n"
+                  "double F(const std::vector<std::vector<double>>& rows) {\n"
+                  "  double s = 0.0;\n"
+                  "  for (size_t i = 0; i < rows.size(); ++i) {\n"
+                  "    const std::vector<double>& row = rows[i];\n"
+                  "    s += row[0];\n"
+                  "  }\n"
+                  "  return s;\n"
+                  "}\n")
+                  .empty());
+}
+
+// --------------------------------------------------------------------------
+// deadlock-order
+
+TEST(DeadlockOrderTest, FlagsInconsistentOrderAtEverySite) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  void Forward() {\n"
+      "    std::lock_guard<std::mutex> a(a_);\n"
+      "    std::lock_guard<std::mutex> b(b_);\n"
+      "  }\n"
+      "  void Backward() {\n"
+      "    std::lock_guard<std::mutex> b(b_);\n"
+      "    std::lock_guard<std::mutex> a(a_);\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "};\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"deadlock-order", 6},
+                                                      {"deadlock-order", 10}}));
+}
+
+TEST(DeadlockOrderTest, FlagsReacquisitionOfAHeldLock) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    std::lock_guard<std::mutex> first(mu_);\n"
+      "    std::lock_guard<std::mutex> again(mu_);\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "};\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"deadlock-order", 6}}));
+}
+
+TEST(DeadlockOrderTest, ConsistentOrderAndScopedAcquisitionsAreLegal) {
+  EXPECT_TRUE(LintFile("src/cdb/foo.cc",
+                       "#include <mutex>\n"
+                       "class C {\n"
+                       " public:\n"
+                       "  void F() {\n"
+                       "    std::lock_guard<std::mutex> a(a_);\n"
+                       "    std::lock_guard<std::mutex> b(b_);\n"
+                       "  }\n"
+                       "  void G() {\n"
+                       "    { std::lock_guard<std::mutex> a(a_); }\n"
+                       "    std::lock_guard<std::mutex> b(b_);\n"
+                       "  }\n"
+                       " private:\n"
+                       "  std::mutex a_;\n"
+                       "  std::mutex b_;\n"
+                       "};\n")
+                  .empty());
+}
+
+TEST(DeadlockOrderTest, ManualMutexLockCallsParticipate) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  void Forward() {\n"
+      "    a_.lock();\n"
+      "    b_.lock();\n"
+      "    b_.unlock();\n"
+      "    a_.unlock();\n"
+      "  }\n"
+      "  void Backward() {\n"
+      "    b_.lock();\n"
+      "    a_.lock();\n"
+      "    a_.unlock();\n"
+      "    b_.unlock();\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "};\n");
+  EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"deadlock-order", 6},
+                                                      {"deadlock-order", 12}}));
+}
+
+// --------------------------------------------------------------------------
 // header hygiene
 
 TEST(HeaderHygieneTest, RequiresGuardOnlyInHeaders) {
@@ -382,6 +759,137 @@ TEST(SuppressionTest, UnknownRuleNamesAreReported) {
   EXPECT_EQ(RulesAndLines(vs), (std::vector<RuleLine>{{"unknown-rule", 1}}));
 }
 
+TEST(SuppressionTest, SemanticRulesAreSuppressible) {
+  // allow(guarded-by) with a reason silences the semantic rule like any
+  // token-level one; the annotation lives on the violating line.
+  EXPECT_TRUE(
+      LintFile("src/cdb/foo.cc",
+               "#include <mutex>\n"
+               "class C {\n"
+               " public:\n"
+               "  // hunterlint: allow(guarded-by) racy read is tolerated\n"
+               "  int Peek() const { return count_; }\n"
+               " private:\n"
+               "  std::mutex mu_;\n"
+               "  int count_ = 0;  // hunterlint: guarded_by(mu_)\n"
+               "};\n")
+          .empty());
+  EXPECT_TRUE(
+      LintFile("src/ml/foo.cc",
+               "#include <vector>\n"
+               "// hunterlint: hot\n"
+               "void F(std::vector<double>* out) {\n"
+               "  for (int i = 0; i < 4; ++i) {\n"
+               "    out->push_back(0.0);  "
+               "// hunterlint: allow(no-alloc-in-hot-loop) startup only\n"
+               "  }\n"
+               "}\n")
+          .empty());
+}
+
+TEST(SuppressionTest, SemanticRuleSuppressionStillNeedsAReason) {
+  const std::vector<Violation> vs = LintFile(
+      "src/cdb/foo.cc",
+      "#include <mutex>\n"
+      "class C {\n"
+      " public:\n"
+      "  // hunterlint: allow(guarded-by)\n"
+      "  int Peek() const { return count_; }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int count_ = 0;  // hunterlint: guarded_by(mu_)\n"
+      "};\n");
+  EXPECT_EQ(RulesAndLines(vs),
+            (std::vector<RuleLine>{{"suppression-needs-reason", 4},
+                                   {"guarded-by", 5}}));
+}
+
+TEST(SuppressionTest, NewRuleNamesAreKnownToAllow) {
+  // Naming any of the semantic rules in allow() must not trip unknown-rule.
+  for (const char* rule :
+       {"guarded-by", "no-alloc-in-hot-loop", "deadlock-order"}) {
+    const std::vector<Violation> vs = LintFile(
+        "src/a.cc", std::string("// hunterlint: allow(") + rule +
+                        ") reason text here\n");
+    EXPECT_TRUE(vs.empty()) << rule << ": " << FormatViolation(vs.front());
+  }
+}
+
+// --------------------------------------------------------------------------
+// JSON reports and the baseline ratchet
+
+TEST(ReportTest, ViolationsJsonRoundTrips) {
+  std::vector<Violation> vs;
+  vs.push_back({"no-wall-clock", "src/a.cc", 3,
+                "message with \"quotes\", back\\slash and\nnewline"});
+  vs.push_back({"header-guard", "src/b.h", 12, "plain"});
+  const std::string json = ViolationsToJson(vs);
+  std::vector<Violation> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseViolationsJson(json, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].path, vs[0].path);
+  EXPECT_EQ(parsed[0].line, vs[0].line);
+  EXPECT_EQ(parsed[0].rule, vs[0].rule);
+  EXPECT_EQ(parsed[0].message, vs[0].message);
+  EXPECT_EQ(parsed[1].rule, "header-guard");
+  // Canonical: re-serializing the parse reproduces the bytes.
+  EXPECT_EQ(ViolationsToJson(parsed), json);
+}
+
+TEST(ReportTest, ParseRejectsMalformedJson) {
+  std::vector<Violation> parsed;
+  std::string error;
+  EXPECT_FALSE(ParseViolationsJson("not json at all", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseViolationsJson("{\"tool\": \"hunterlint\"", &parsed,
+                                   &error));
+}
+
+TEST(ReportTest, BaselineRoundTripsByteIdentically) {
+  std::vector<Violation> vs;
+  vs.push_back({"no-wall-clock", "src/a.cc", 3, "m1"});
+  vs.push_back({"no-wall-clock", "src/a.cc", 9, "m2"});
+  vs.push_back({"guarded-by", "src/b.cc", 1, "m3"});
+  const std::vector<BaselineEntry> entries = BaselineFromViolations(vs);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], (BaselineEntry{"src/a.cc", "no-wall-clock", 2}));
+  EXPECT_EQ(entries[1], (BaselineEntry{"src/b.cc", "guarded-by", 1}));
+  const std::string json = BaselineToJson(entries);
+  std::vector<BaselineEntry> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBaselineJson(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, entries);
+  EXPECT_EQ(BaselineToJson(parsed), json);
+}
+
+TEST(ReportTest, EmptyBaselineHasPinnedCanonicalBytes) {
+  // The checked-in tools/hunterlint/baseline.json must stay exactly these
+  // bytes (debt is frozen at zero); see DESIGN.md §12.
+  EXPECT_EQ(BaselineToJson({}),
+            "{\n"
+            "  \"tool\": \"hunterlint\",\n"
+            "  \"version\": 1,\n"
+            "  \"entries\": []\n"
+            "}\n");
+}
+
+TEST(ReportTest, ApplyBaselineForgivesOnlyTheFirstCountPerKey) {
+  std::vector<Violation> vs;
+  vs.push_back({"no-wall-clock", "src/a.cc", 3, "first"});
+  vs.push_back({"no-wall-clock", "src/a.cc", 9, "second"});
+  vs.push_back({"no-wall-clock", "src/a.cc", 12, "third"});
+  vs.push_back({"guarded-by", "src/b.cc", 1, "other key"});
+  const std::vector<BaselineEntry> baseline = {
+      {"src/a.cc", "no-wall-clock", 2}};
+  const std::vector<Violation> rest = ApplyBaseline(vs, baseline);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].message, "third");
+  EXPECT_EQ(rest[1].message, "other key");
+  // An empty baseline forgives nothing.
+  EXPECT_EQ(ApplyBaseline(vs, {}).size(), vs.size());
+}
+
 // --------------------------------------------------------------------------
 // golden fixtures
 
@@ -442,10 +950,32 @@ TEST(FixtureTest, BadSuppression) {
                                    {"unknown-rule", 11}}));
 }
 
+TEST(FixtureTest, GuardedBy) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/guarded_by.cc")),
+            (std::vector<RuleLine>{{"guarded-by", 18},
+                                   {"guarded-by", 22},
+                                   {"guarded-by", 30}}));
+}
+
+TEST(FixtureTest, HotAlloc) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/hot_alloc.cc")),
+            (std::vector<RuleLine>{{"no-alloc-in-hot-loop", 14},
+                                   {"no-alloc-in-hot-loop", 15},
+                                   {"no-alloc-in-hot-loop", 17},
+                                   {"no-alloc-in-hot-loop", 19}}));
+}
+
+TEST(FixtureTest, DeadlockOrder) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/deadlock_order.cc")),
+            (std::vector<RuleLine>{{"deadlock-order", 14},
+                                   {"deadlock-order", 19},
+                                   {"deadlock-order", 24}}));
+}
+
 TEST(FixtureTest, CleanDirectoryIsClean) {
   const std::vector<std::string> files =
       CollectFiles(HUNTERLINT_TESTDATA_DIR, {"clean"});
-  ASSERT_EQ(files.size(), 3u);
+  ASSERT_EQ(files.size(), 4u);
   const std::vector<Violation> vs =
       LintTree(HUNTERLINT_TESTDATA_DIR, files);
   EXPECT_TRUE(vs.empty()) << FormatViolation(vs.front());

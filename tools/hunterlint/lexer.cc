@@ -32,10 +32,24 @@ LexedFile Lex(const std::string& source) {
   size_t i = 0;
   int line = 1;
   size_t line_start = 0;  // offset of the current line's first character
+  // Offset one past the last identifier token's final character, for the
+  // raw-string adjacency check (R must touch the opening quote).
+  size_t prev_ident_end = std::string::npos;
 
   auto advance_newline = [&](size_t pos) {
     line++;
     line_start = pos + 1;
+  };
+
+  // Length of a line splice (backslash + newline, with an optional \r) at
+  // offset j, or 0 when there is none. Splices can appear *inside* tokens
+  // and comments — `ab\<newline>c` is the single identifier `abc` — so the
+  // token scanners below consult this, not just the top-level loop.
+  auto splice_len = [&](size_t j) -> size_t {
+    if (j >= n || source[j] != '\\') return 0;
+    if (j + 1 < n && source[j + 1] == '\n') return 2;
+    if (j + 2 < n && source[j + 1] == '\r' && source[j + 2] == '\n') return 3;
+    return 0;
   };
 
   auto only_ws_before = [&](size_t pos) {
@@ -58,24 +72,32 @@ LexedFile Lex(const std::string& source) {
       ++i;
       continue;
     }
-    // Line continuation.
-    if (c == '\\' && i + 1 < n && (source[i + 1] == '\n' ||
-                                   (source[i + 1] == '\r' && i + 2 < n &&
-                                    source[i + 2] == '\n'))) {
-      i += (source[i + 1] == '\n') ? 2 : 3;
+    // Line continuation between tokens.
+    if (const size_t sp = splice_len(i); sp != 0) {
+      i += sp;
       advance_newline(i - 1);
       continue;
     }
 
-    // Comments.
+    // Comments. A `//` comment whose line ends in a splice continues onto
+    // the next source line (the splice is part of the comment, exactly as
+    // the preprocessor sees it), so a suppression annotation can never be
+    // truncated — or a stray trailing backslash silently swallow code.
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
       Comment comment;
       comment.line = line;
       comment.owns_line = only_ws_before(i);
       i += 2;
-      const size_t start = i;
-      while (i < n && source[i] != '\n') ++i;
-      comment.text = source.substr(start, i - start);
+      std::string text;
+      while (i < n && source[i] != '\n') {
+        if (const size_t sp = splice_len(i); sp != 0) {
+          i += sp;
+          advance_newline(i - 1);
+          continue;
+        }
+        text += source[i++];
+      }
+      comment.text = std::move(text);
       out.comments.push_back(std::move(comment));
       continue;
     }
@@ -127,10 +149,12 @@ LexedFile Lex(const std::string& source) {
     // String literals (incl. raw strings). Prefix letters (L, u8, R, uR...)
     // are lexed as part of the preceding identifier; that is fine because we
     // only need to skip the literal's interior, and an identifier ending in
-    // R directly followed by `"` marks a raw string.
+    // R *immediately adjacent* to the `"` marks a raw string — `R "x"` with
+    // whitespace between is the identifier R and an ordinary literal, as is
+    // `FooR"x"` (FooR does not end in a raw-string prefix).
     if (c == '"') {
       bool raw = false;
-      if (!out.tokens.empty() &&
+      if (prev_ident_end == i && !out.tokens.empty() &&
           out.tokens.back().kind == TokKind::kIdentifier) {
         const std::string& prev = out.tokens.back().text;
         raw = !prev.empty() && prev.back() == 'R' &&
@@ -139,6 +163,8 @@ LexedFile Lex(const std::string& source) {
       }
       const int string_line = line;
       if (raw) {
+        // Raw literals are the one context where splices do NOT apply: the
+        // contents run verbatim to )delim", backslashes and all.
         size_t j = i + 1;
         std::string delim;
         while (j < n && source[j] != '(') delim += source[j++];
@@ -154,12 +180,20 @@ LexedFile Lex(const std::string& source) {
         i = (end == n) ? n : end + closer.size();
       } else {
         size_t j = i + 1;
+        std::string text;
         while (j < n && source[j] != '"' && source[j] != '\n') {
-          if (source[j] == '\\' && j + 1 < n) ++j;
-          ++j;
+          if (const size_t sp = splice_len(j); sp != 0) {
+            // A spliced literal continues on the next line; the splice is
+            // not part of the value and the line counter must advance or
+            // every later violation would be reported one line early.
+            j += sp;
+            advance_newline(j - 1);
+            continue;
+          }
+          if (source[j] == '\\' && j + 1 < n) text += source[j++];
+          text += source[j++];
         }
-        out.tokens.push_back(
-            {TokKind::kString, source.substr(i + 1, j - i - 1), string_line});
+        out.tokens.push_back({TokKind::kString, std::move(text), string_line});
         i = (j < n && source[j] == '"') ? j + 1 : j;
       }
       continue;
@@ -180,10 +214,23 @@ LexedFile Lex(const std::string& source) {
     }
 
     if (IsIdentStart(c)) {
+      const int ident_line = line;
       size_t j = i;
-      while (j < n && IsIdentChar(source[j])) ++j;
+      std::string text;
+      while (j < n) {
+        if (const size_t sp = splice_len(j); sp != 0 && j + sp < n &&
+                                             IsIdentChar(source[j + sp])) {
+          // `ab\<newline>c` is one identifier, `abc`.
+          j += sp;
+          advance_newline(j - 1);
+          continue;
+        }
+        if (!IsIdentChar(source[j])) break;
+        text += source[j++];
+      }
       out.tokens.push_back(
-          {TokKind::kIdentifier, source.substr(i, j - i), line});
+          {TokKind::kIdentifier, std::move(text), ident_line});
+      prev_ident_end = j;
       i = j;
       continue;
     }

@@ -1,0 +1,362 @@
+#include "hunterlint/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace hunter::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical writer
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(c >> 4) & 0xF]);
+          out->push_back(kHex[c & 0xF]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, integers) — just enough to
+// read back what the writers above produce, independent of key order and
+// whitespace so hand-edited baselines still load.
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  const std::string& error() const { return error_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  bool ReadString(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          int code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Fail("bad \\u escape");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else {
+            // The writers only emit \u00XX; anything larger is foreign.
+            return Fail("unsupported \\u escape");
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ReadInt(long* out) {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("expected integer");
+    }
+    *out = std::stol(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  // Skips any JSON value (used for unknown keys, e.g. a future "files"
+  // field), so old lintdiff binaries keep reading newer reports.
+  bool SkipValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("expected value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return ReadString(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char open = c;
+      const char close = (c == '{') ? '}' : ']';
+      int depth = 0;
+      bool in_string = false;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_++];
+        if (in_string) {
+          if (d == '\\') { if (pos_ < text_.size()) ++pos_; }
+          else if (d == '"') in_string = false;
+          continue;
+        }
+        if (d == '"') in_string = true;
+        else if (d == open) ++depth;
+        else if (d == close && --depth == 0) return true;
+      }
+      return Fail("unterminated composite");
+    }
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// Reads `{"k": v, ...}` invoking `field(reader, key)` per pair.
+template <typename FieldFn>
+bool ReadObject(JsonReader* r, FieldFn field) {
+  if (!r->Consume('{')) return false;
+  if (r->Peek('}')) return r->Consume('}');
+  while (true) {
+    std::string key;
+    if (!r->ReadString(&key)) return false;
+    if (!r->Consume(':')) return false;
+    if (!field(r, key)) return false;
+    if (r->Peek(',')) {
+      r->Consume(',');
+      continue;
+    }
+    return r->Consume('}');
+  }
+}
+
+template <typename ElemFn>
+bool ReadArray(JsonReader* r, ElemFn elem) {
+  if (!r->Consume('[')) return false;
+  if (r->Peek(']')) return r->Consume(']');
+  while (true) {
+    if (!elem(r)) return false;
+    if (r->Peek(',')) {
+      r->Consume(',');
+      continue;
+    }
+    return r->Consume(']');
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Violation reports
+
+std::string ViolationsToJson(const std::vector<Violation>& violations) {
+  std::string out = "{\n  \"tool\": \"hunterlint\",\n  \"version\": 1,\n"
+                    "  \"violations\": [";
+  bool first = true;
+  for (const Violation& v : violations) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"path\": ";
+    AppendJsonString(v.path, &out);
+    out += ", \"line\": " + std::to_string(v.line) + ", \"rule\": ";
+    AppendJsonString(v.rule, &out);
+    out += ", \"message\": ";
+    AppendJsonString(v.message, &out);
+    out += "}";
+  }
+  out += violations.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool ParseViolationsJson(const std::string& text,
+                         std::vector<Violation>* out, std::string* error) {
+  out->clear();
+  JsonReader r(text);
+  const bool ok = ReadObject(&r, [&](JsonReader* rr, const std::string& key) {
+    if (key != "violations") return rr->SkipValue();
+    return ReadArray(rr, [&](JsonReader* ar) {
+      Violation v;
+      const bool vok =
+          ReadObject(ar, [&](JsonReader* vr, const std::string& k) {
+            if (k == "path") return vr->ReadString(&v.path);
+            if (k == "rule") return vr->ReadString(&v.rule);
+            if (k == "message") return vr->ReadString(&v.message);
+            if (k == "line") {
+              long line = 0;
+              if (!vr->ReadInt(&line)) return false;
+              v.line = static_cast<int>(line);
+              return true;
+            }
+            return vr->SkipValue();
+          });
+      if (vok) out->push_back(std::move(v));
+      return vok;
+    });
+  });
+  if (!ok && error != nullptr) *error = r.error();
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+std::vector<BaselineEntry> BaselineFromViolations(
+    const std::vector<Violation>& violations) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Violation& v : violations) {
+    counts[{v.path, v.rule}] += 1;
+  }
+  std::vector<BaselineEntry> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    out.push_back({key.first, key.second, count});
+  }
+  return out;  // std::map iteration is already (path, rule)-sorted
+}
+
+std::string BaselineToJson(const std::vector<BaselineEntry>& entries) {
+  std::vector<BaselineEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BaselineEntry& a, const BaselineEntry& b) {
+              if (a.path != b.path) return a.path < b.path;
+              return a.rule < b.rule;
+            });
+  std::string out = "{\n  \"tool\": \"hunterlint\",\n  \"version\": 1,\n"
+                    "  \"entries\": [";
+  bool first = true;
+  for (const BaselineEntry& e : sorted) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"path\": ";
+    AppendJsonString(e.path, &out);
+    out += ", \"rule\": ";
+    AppendJsonString(e.rule, &out);
+    out += ", \"count\": " + std::to_string(e.count) + "}";
+  }
+  out += sorted.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool ParseBaselineJson(const std::string& text,
+                       std::vector<BaselineEntry>* out, std::string* error) {
+  out->clear();
+  JsonReader r(text);
+  const bool ok = ReadObject(&r, [&](JsonReader* rr, const std::string& key) {
+    if (key != "entries") return rr->SkipValue();
+    return ReadArray(rr, [&](JsonReader* ar) {
+      BaselineEntry e;
+      const bool eok =
+          ReadObject(ar, [&](JsonReader* er, const std::string& k) {
+            if (k == "path") return er->ReadString(&e.path);
+            if (k == "rule") return er->ReadString(&e.rule);
+            if (k == "count") {
+              long count = 0;
+              if (!er->ReadInt(&count)) return false;
+              e.count = static_cast<int>(count);
+              return true;
+            }
+            return er->SkipValue();
+          });
+      if (eok) out->push_back(std::move(e));
+      return eok;
+    });
+  });
+  if (!ok && error != nullptr) *error = r.error();
+  return ok;
+}
+
+std::vector<Violation> ApplyBaseline(
+    const std::vector<Violation>& violations,
+    const std::vector<BaselineEntry>& baseline) {
+  std::map<std::pair<std::string, std::string>, int> budget;
+  for (const BaselineEntry& e : baseline) {
+    budget[{e.path, e.rule}] += e.count;
+  }
+  std::vector<Violation> out;
+  for (const Violation& v : violations) {
+    auto it = budget.find({v.path, v.rule});
+    if (it != budget.end() && it->second > 0) {
+      it->second -= 1;
+      continue;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace hunter::lint

@@ -1,0 +1,70 @@
+// Machine-readable hunterlint output: a canonical JSON report format
+// (`hunterlint --format=json`, consumed by tools/lintdiff) and the baseline
+// ratchet (`--baseline` / `--write-baseline`).
+//
+// Both serializers are canonical: fixed key order, sorted entries, minimal
+// escaping, trailing newline. Parse(Write(x)) == x and Write(Parse(bytes))
+// == bytes for any bytes this module wrote, which is what lets check.sh
+// gate on byte-identical reports across runs and lets the baseline file
+// round-trip through review diffs unchanged.
+//
+// The baseline maps (path, rule) -> violation count. Applying it drops the
+// first `count` violations per key (in line order) and reports the rest, so
+// existing debt is frozen while any *new* violation — or an old one moving
+// to a new file — still fails. The repo's checked-in baseline is empty and
+// must stay empty; the mechanism exists so a future rule can land before
+// its sweep finishes without going unenforced.
+
+#ifndef HUNTER_TOOLS_HUNTERLINT_REPORT_H_
+#define HUNTER_TOOLS_HUNTERLINT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "hunterlint/rules.h"
+
+namespace hunter::lint {
+
+// ---- JSON violation reports ----
+
+// Canonical report: {"tool":"hunterlint","version":1,"violations":[...]}
+// with one {"path","line","rule","message"} object per violation, in the
+// given order.
+std::string ViolationsToJson(const std::vector<Violation>& violations);
+
+// Parses a report produced by ViolationsToJson (tolerant of whitespace and
+// key order). Returns false and sets *error on malformed input.
+bool ParseViolationsJson(const std::string& text,
+                         std::vector<Violation>* out, std::string* error);
+
+// ---- Baseline ratchet ----
+
+struct BaselineEntry {
+  std::string path;
+  std::string rule;
+  int count = 0;
+};
+
+inline bool operator==(const BaselineEntry& a, const BaselineEntry& b) {
+  return a.path == b.path && a.rule == b.rule && a.count == b.count;
+}
+
+// Per-(path, rule) counts of `violations`, sorted by path then rule.
+std::vector<BaselineEntry> BaselineFromViolations(
+    const std::vector<Violation>& violations);
+
+// Canonical baseline bytes: {"tool":"hunterlint","version":1,"entries":[...]}.
+std::string BaselineToJson(const std::vector<BaselineEntry>& entries);
+
+bool ParseBaselineJson(const std::string& text,
+                       std::vector<BaselineEntry>* out, std::string* error);
+
+// Violations in excess of the baseline: for each (path, rule) the first
+// `count` violations (in input order) are forgiven, the rest returned.
+std::vector<Violation> ApplyBaseline(
+    const std::vector<Violation>& violations,
+    const std::vector<BaselineEntry>& baseline);
+
+}  // namespace hunter::lint
+
+#endif  // HUNTER_TOOLS_HUNTERLINT_REPORT_H_

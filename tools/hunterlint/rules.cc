@@ -498,6 +498,9 @@ const std::vector<std::string>& AllRuleNames() {
       "no-unordered-iteration-emit",
       "journal-emit-through-obs",
       "no-matrix-row-copy-in-loop",
+      "guarded-by",
+      "no-alloc-in-hot-loop",
+      "deadlock-order",
       "header-guard",
       "no-using-namespace-header",
       "include-style",
@@ -532,6 +535,20 @@ std::string RuleDescription(const std::string& rule) {
     return "flags allocating Matrix::Row() calls inside for-loop bodies "
            "under src/ml/ and src/linalg/ — hot loops take the "
            "non-allocating RowView()/RowSpan instead";
+  }
+  if (rule == "guarded-by") {
+    return "fields annotated '// hunterlint: guarded_by(mu_)' must only be "
+           "accessed with mu_ held (lock_guard/scoped_lock/unique_lock "
+           "scope tracking; '// hunterlint: requires(mu_)' for helpers)";
+  }
+  if (rule == "no-alloc-in-hot-loop") {
+    return "bans new/push_back/emplace_back/resize/std::vector "
+           "construction inside loops of functions annotated "
+           "'// hunterlint: hot'";
+  }
+  if (rule == "deadlock-order") {
+    return "builds the cross-file lock-acquisition order graph and fails "
+           "on cycles (and on re-acquiring a held lock)";
   }
   if (rule == "header-guard") {
     return "headers must start with #pragma once or a matched "

@@ -12,6 +12,12 @@
 //   no-matrix-row-copy-in-loop  ml/linalg hot loops must not call the
 //                              allocating Matrix::Row() per iteration —
 //                              they take the non-allocating RowView/RowSpan
+//   guarded-by                 fields annotated `guarded_by(mu_)` are only
+//                              accessed with mu_ held (semantic; sem.h)
+//   no-alloc-in-hot-loop       no new/push_back/resize/vector construction
+//                              in loops of `hot` functions (semantic)
+//   deadlock-order             the cross-file lock-acquisition graph has
+//                              no cycles (semantic)
 //   header-guard               headers carry #pragma once or a matched
 //                              #ifndef/#define include guard
 //   no-using-namespace-header  headers must not inject namespaces
@@ -56,8 +62,10 @@ std::string RuleDescription(const std::string& rule);
 // only for substantive ones, but recognized so the error is precise).
 bool IsKnownRule(const std::string& rule);
 
-// Runs every substantive rule over the file. Suppressions are NOT applied
-// here; the driver (hunterlint.cc) matches them against annotations.
+// Runs every token-level rule over the file. The semantic rule families
+// (guarded-by, no-alloc-in-hot-loop, deadlock-order) live in sem.h and need
+// the cross-file ProjectModel; the driver runs both sets. Suppressions are
+// NOT applied here; the driver matches them against annotations.
 std::vector<Violation> RunRules(const FileCtx& ctx);
 
 }  // namespace hunter::lint

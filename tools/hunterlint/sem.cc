@@ -1,0 +1,1056 @@
+#include "hunterlint/sem.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+namespace hunter::lint {
+
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+// ---------------------------------------------------------------------------
+// Annotation directives (guarded_by / requires / hot)
+
+struct Directive {
+  enum Kind { kGuardedBy, kRequires, kHot };
+  Kind kind = kHot;
+  std::string arg;
+  int target_line = 0;  // line of the declaration the directive attaches to
+};
+
+std::string TrimWs(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Mirrors the `allow(...)` parsing in hunterlint.cc: `hunterlint:` followed
+// by a verb; unknown verbs (including `allow`, which the driver owns) are
+// skipped. A comment alone on its line annotates the next line.
+void ParseDirectives(const std::vector<Comment>& comments,
+                     std::vector<Directive>* out) {
+  static const std::string kMarker = "hunterlint:";
+  for (const Comment& comment : comments) {
+    size_t pos = 0;
+    while ((pos = comment.text.find(kMarker, pos)) != std::string::npos) {
+      pos += kMarker.size();
+      size_t cursor = comment.text.find_first_not_of(" \t", pos);
+      if (cursor == std::string::npos) break;
+      size_t vend = cursor;
+      while (vend < comment.text.size() &&
+             (std::isalnum(static_cast<unsigned char>(comment.text[vend])) ||
+              comment.text[vend] == '_')) {
+        ++vend;
+      }
+      const std::string verb = comment.text.substr(cursor, vend - cursor);
+      Directive d;
+      bool want_arg = true;
+      if (verb == "guarded_by") {
+        d.kind = Directive::kGuardedBy;
+      } else if (verb == "requires") {
+        d.kind = Directive::kRequires;
+      } else if (verb == "hot") {
+        d.kind = Directive::kHot;
+        want_arg = false;
+      } else {
+        pos = cursor;
+        continue;
+      }
+      d.target_line = comment.owns_line ? comment.line + 1 : comment.line;
+      if (want_arg) {
+        const size_t open = comment.text.find_first_not_of(" \t", vend);
+        if (open == std::string::npos || comment.text[open] != '(') {
+          pos = vend;
+          continue;
+        }
+        const size_t close = comment.text.find(')', open);
+        if (close == std::string::npos) {
+          pos = vend;
+          continue;
+        }
+        d.arg = TrimWs(comment.text.substr(open + 1, close - open - 1));
+        pos = close;
+        if (d.arg.empty()) continue;
+      } else {
+        pos = vend;
+      }
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+bool HasDirective(const std::vector<Directive>& dirs, Directive::Kind kind,
+                  int first_line, int last_line) {
+  for (const Directive& d : dirs) {
+    if (d.kind == kind && d.target_line >= first_line &&
+        d.target_line <= last_line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> DirectiveArgs(const std::vector<Directive>& dirs,
+                                       Directive::Kind kind, int first_line,
+                                       int last_line) {
+  std::vector<std::string> args;
+  for (const Directive& d : dirs) {
+    if (d.kind == kind && d.target_line >= first_line &&
+        d.target_line <= last_line) {
+      args.push_back(d.arg);
+    }
+  }
+  std::sort(args.begin(), args.end());
+  args.erase(std::unique(args.begin(), args.end()), args.end());
+  return args;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: token stream -> FileModel
+
+bool IsStatementKeyword(const std::string& s) {
+  static const std::unordered_set<std::string> kSet = {
+      "if",     "for",      "while",  "switch",           "return",
+      "catch",  "sizeof",   "new",    "delete",           "throw",
+      "do",     "else",     "case",   "default",          "alignof",
+      "assert", "decltype", "co_await",
+      "static_cast",        "dynamic_cast",
+      "const_cast",         "reinterpret_cast",
+  };
+  return kSet.count(s) != 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(const LexedFile& lex) {
+    // Preprocessor awareness: a directive occupies its line; dropping those
+    // tokens keeps `#ifndef FOO_H_` guards and `#define` constants out of
+    // the declaration grammar. (The tree bans multi-line macros de facto —
+    // none exist — so per-line stripping is exact here.)
+    const std::vector<Token>& toks = lex.tokens;
+    size_t i = 0;
+    while (i < toks.size()) {
+      if (toks[i].kind == TokKind::kPunct && toks[i].text == "#") {
+        const int line = toks[i].line;
+        while (i < toks.size() && toks[i].line == line) ++i;
+        continue;
+      }
+      model_.code.push_back(toks[i]);
+      ++i;
+    }
+    ParseDirectives(lex.comments, &dirs_);
+  }
+
+  FileModel Take() {
+    ParseScope(0, model_.code.size(), "", kNpos);
+    return std::move(model_);
+  }
+
+ private:
+  const std::string& Text(size_t i) const {
+    static const std::string kEmpty;
+    if (i >= model_.code.size()) return kEmpty;
+    return model_.code[i].text;
+  }
+
+  bool IsId(size_t i) const {
+    return i < model_.code.size() &&
+           model_.code[i].kind == TokKind::kIdentifier;
+  }
+
+  int Line(size_t i) const {
+    if (model_.code.empty()) return 0;
+    if (i >= model_.code.size()) i = model_.code.size() - 1;
+    return model_.code[i].line;
+  }
+
+  // Balanced skip helpers. All return an index <= limit and make progress.
+  size_t MatchParen(size_t open, size_t limit) const {
+    int depth = 0;
+    for (size_t j = open; j < limit; ++j) {
+      if (Text(j) == "(") ++depth;
+      else if (Text(j) == ")" && --depth == 0) return j;
+    }
+    return limit;
+  }
+
+  size_t MatchBrace(size_t open, size_t limit) const {
+    int depth = 0;
+    for (size_t j = open; j < limit; ++j) {
+      if (Text(j) == "{") ++depth;
+      else if (Text(j) == "}" && --depth == 0) return j;
+    }
+    return limit;
+  }
+
+  size_t MatchBracket(size_t open, size_t limit) const {
+    int depth = 0;
+    for (size_t j = open; j < limit; ++j) {
+      if (Text(j) == "[") ++depth;
+      else if (Text(j) == "]" && --depth == 0) return j;
+    }
+    return limit;
+  }
+
+  // If Text(from) == "<" and a balanced close exists before any ; { },
+  // returns the index just past the closing >; otherwise returns `from`
+  // (the < was a comparison, not template args).
+  size_t TrySkipAngles(size_t from, size_t limit) const {
+    if (Text(from) != "<") return from;
+    int depth = 0;
+    for (size_t j = from; j < limit; ++j) {
+      const std::string& t = Text(j);
+      if (t == "<") ++depth;
+      else if (t == ">") --depth;
+      else if (t == ">>") depth -= 2;
+      else if (t == ";" || t == "{" || t == "}") return from;
+      if (depth <= 0) return j + 1;
+    }
+    return from;
+  }
+
+  // Consumes one statement we do not model: to the first top-level `;`, or
+  // past a top-level braced block (plus its trailing `;` if present).
+  size_t SkipStatement(size_t from, size_t limit) const {
+    size_t j = from;
+    while (j < limit) {
+      const std::string& t = Text(j);
+      if (t == ";") return j + 1;
+      if (t == "(") { j = MatchParen(j, limit) + 1; continue; }
+      if (t == "[") { j = MatchBracket(j, limit) + 1; continue; }
+      if (t == "{") {
+        j = MatchBrace(j, limit) + 1;
+        if (j < limit && Text(j) == ";") return j + 1;
+        return j;
+      }
+      ++j;
+    }
+    return limit;
+  }
+
+  void ParseScope(size_t begin, size_t end, const std::string& class_name,
+                  size_t cls_idx) {
+    size_t s = begin;
+    while (s < end) {
+      const size_t stmt_start = s;
+      const std::string& t = Text(s);
+      if (t == ";" || t == "}") { ++s; continue; }
+      if (t == "{") { s = MatchBrace(s, end) + 1; continue; }
+      if (IsId(s)) {
+        if ((t == "public" || t == "private" || t == "protected") &&
+            Text(s + 1) == ":") {
+          s += 2;
+          continue;
+        }
+        if (t == "namespace") {
+          size_t j = s + 1;
+          while (j < end && Text(j) != "{" && Text(j) != ";" &&
+                 Text(j) != "=") {
+            ++j;
+          }
+          if (j < end && Text(j) == "{") {
+            const size_t close = MatchBrace(j, end);
+            ParseScope(j + 1, close, "", kNpos);
+            s = close + 1;
+          } else {
+            s = SkipStatement(j, end);
+          }
+          continue;
+        }
+        if (t == "using" || t == "typedef" || t == "static_assert") {
+          s = SkipStatement(s + 1, end);
+          continue;
+        }
+        if (t == "enum") {
+          size_t j = s + 1;
+          while (j < end && Text(j) != "{" && Text(j) != ";") ++j;
+          if (j < end && Text(j) == "{") j = MatchBrace(j, end) + 1;
+          s = SkipStatement(j, end);
+          continue;
+        }
+        if (t == "template") {
+          const size_t j = TrySkipAngles(s + 1, end);
+          if (j == s + 1) {
+            s = SkipStatement(s + 1, end);
+          } else {
+            s = ParseDeclaration(stmt_start, j, end, class_name, cls_idx);
+          }
+          continue;
+        }
+        if (t == "class" || t == "struct" || t == "union") {
+          s = ParseClass(s, end);
+          continue;
+        }
+      }
+      s = ParseDeclaration(stmt_start, stmt_start, end, class_name, cls_idx);
+    }
+  }
+
+  size_t ParseClass(size_t s, size_t end) {
+    size_t j = s + 1;
+    if (!IsId(j)) return SkipStatement(j, end);  // anonymous aggregate
+    const std::string name = Text(j);
+    ++j;
+    j = std::max(j, TrySkipAngles(j, end));
+    if (IsId(j) && Text(j) == "final") ++j;
+    // Scan past any base clause for the body `{` or a fwd-decl `;`.
+    while (j < end) {
+      const std::string& t = Text(j);
+      if (t == "{") break;
+      if (t == ";") return j + 1;
+      if (t == "(") { j = MatchParen(j, end) + 1; continue; }
+      if (t == "<") {
+        const size_t k = TrySkipAngles(j, end);
+        j = (k == j) ? j + 1 : k;
+        continue;
+      }
+      ++j;
+    }
+    if (j >= end) return end;
+    const size_t close = MatchBrace(j, end);
+    model_.classes.push_back(ClassInfo{name, {}});
+    // Recursion may push nested classes and reallocate, so hold the index.
+    const size_t cls_idx = model_.classes.size() - 1;
+    ParseScope(j + 1, close, name, cls_idx);
+    return SkipStatement(close + 1, end);
+  }
+
+  // Generic declaration: scan for the first top-level `(` (a candidate
+  // function declarator), `=`/`{`/`;` (a data member / variable).
+  size_t ParseDeclaration(size_t stmt_start, size_t from, size_t end,
+                          const std::string& class_name, size_t cls_idx) {
+    size_t j = from;
+    while (j < end) {
+      const std::string& t = Text(j);
+      if (t == ";") {
+        RecordFields(stmt_start, j, cls_idx);
+        return j + 1;
+      }
+      if (t == "=") {
+        RecordFields(stmt_start, j, cls_idx);
+        return SkipStatement(j + 1, end);
+      }
+      if (t == "{") {
+        RecordFields(stmt_start, j, cls_idx);
+        return SkipStatement(j, end);
+      }
+      if (t == "(") {
+        return ParseMaybeFunction(stmt_start, j, end, class_name);
+      }
+      if (t == "[") { j = MatchBracket(j, end) + 1; continue; }
+      if (IsId(j) && t != "operator") {
+        const size_t k = TrySkipAngles(j + 1, end);
+        j = (k == j + 1) ? j + 1 : k;
+        continue;
+      }
+      ++j;
+    }
+    return end;
+  }
+
+  // Declarator name ending just before the parameter `(` at `params`.
+  // Handles `name`, `Class::name`, `~Name`, `Class::~Name`, `operator+`,
+  // and `operator()`. Returns false when no function name is present.
+  bool DeclaratorName(size_t stmt_start, size_t* params, std::string* name,
+                      std::string* qualifier, size_t* name_idx) const {
+    const size_t paren = *params;
+    if (paren == 0 || paren <= stmt_start) return false;
+    size_t p = paren - 1;
+    if (IsId(p)) {
+      if (Text(p) == "operator") {
+        // operator()(...): the scan stopped at the operator's own parens.
+        if (Text(paren + 1) == ")" && Text(paren + 2) == "(") {
+          *name = "operator()";
+          *name_idx = p;
+          *params = paren + 2;
+          return true;
+        }
+        return false;
+      }
+      if (IsStatementKeyword(Text(p))) return false;
+      *name = Text(p);
+      *name_idx = p;
+      size_t q = p;
+      if (q > stmt_start && Text(q - 1) == "~") {
+        *name = "~" + *name;
+        --q;
+      }
+      if (q >= stmt_start + 2 && Text(q - 1) == "::" && IsId(q - 2)) {
+        *qualifier = Text(q - 2);
+      }
+      return true;
+    }
+    // `operator==` and friends: punct preceded by the operator keyword.
+    if (p > stmt_start && IsId(p - 1) && Text(p - 1) == "operator") {
+      *name = "operator" + Text(p);
+      *name_idx = p - 1;
+      return true;
+    }
+    return false;
+  }
+
+  size_t ParseMaybeFunction(size_t stmt_start, size_t paren, size_t end,
+                            const std::string& class_name) {
+    std::string name, qualifier;
+    size_t name_idx = kNpos;
+    size_t params = paren;
+    if (!DeclaratorName(stmt_start, &params, &name, &qualifier, &name_idx)) {
+      return SkipStatement(stmt_start, end);
+    }
+    const size_t close = MatchParen(params, end);
+    if (close >= end) return end;
+
+    // Classify the tokens after the parameter list: qualifiers and either a
+    // body `{`, a ctor-init list `: member(...) ... {`, or a declaration
+    // terminator (`;`, `= default;`, `= 0;`).
+    size_t j = close + 1;
+    size_t body = kNoBody;
+    bool is_decl = false;
+    while (j < end) {
+      const std::string& t = Text(j);
+      if (t == "{") { body = j; break; }
+      if (t == ";") { is_decl = true; break; }
+      if (t == "const" || t == "override" || t == "final" || t == "&" ||
+          t == "&&" || t == "mutable" || t == "try" || t == "volatile") {
+        ++j;
+        continue;
+      }
+      if (t == "noexcept") {
+        ++j;
+        if (Text(j) == "(") j = MatchParen(j, end) + 1;
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        ++j;
+        while (j < end && Text(j) != "{" && Text(j) != ";") {
+          if (Text(j) == "(") { j = MatchParen(j, end) + 1; continue; }
+          if (Text(j) == "<") {
+            const size_t k = TrySkipAngles(j, end);
+            j = (k == j) ? j + 1 : k;
+            continue;
+          }
+          ++j;
+        }
+        continue;
+      }
+      if (t == "=") { is_decl = true; break; }
+      if (t == ":") {  // ctor-init list
+        ++j;
+        while (j < end) {
+          while (j < end && (Text(j) == "::" ||
+                             (IsId(j) && Text(j + 1) != "(" &&
+                              Text(j + 1) != "{" && Text(j + 1) != "<"))) {
+            ++j;
+          }
+          if (IsId(j)) {
+            ++j;
+            const size_t k = TrySkipAngles(j, end);
+            j = std::max(j, k);
+          }
+          if (Text(j) == "(") j = MatchParen(j, end) + 1;
+          else if (Text(j) == "{") j = MatchBrace(j, end) + 1;
+          else break;
+          if (Text(j) == ",") { ++j; continue; }
+          if (Text(j) == "{") body = j;
+          break;
+        }
+        break;
+      }
+      break;  // anything else: not a function declarator
+    }
+    if (body == kNoBody && !is_decl) return SkipStatement(stmt_start, end);
+
+    FunctionInfo fn;
+    fn.name = name;
+    fn.class_name = !qualifier.empty() ? qualifier : class_name;
+    fn.line = Line(name_idx);
+    fn.is_ctor_or_dtor =
+        !fn.class_name.empty() &&
+        (fn.name == fn.class_name || fn.name == "~" + fn.class_name);
+    const int first_line = Line(stmt_start);
+    const int last_line = Line(body != kNoBody ? body : j);
+    fn.hot = HasDirective(dirs_, Directive::kHot, first_line, last_line);
+    fn.requires_locks =
+        DirectiveArgs(dirs_, Directive::kRequires, first_line, last_line);
+    if (body != kNoBody) {
+      fn.body_begin = body;
+      fn.body_end = MatchBrace(body, end);
+      const size_t next = fn.body_end + 1;
+      model_.functions.push_back(std::move(fn));
+      return next;
+    }
+    model_.functions.push_back(std::move(fn));
+    return SkipStatement(j, end);
+  }
+
+  // Declared names of a data-member statement spanning [stmt_begin, term).
+  // Splits at top-level commas; within a declarator the name is the last
+  // identifier before any array extent or bitfield width.
+  void RecordFields(size_t stmt_begin, size_t term, size_t cls_idx) {
+    if (cls_idx == kNpos || term <= stmt_begin) return;
+    for (size_t j = stmt_begin; j < term; ++j) {
+      const std::string& t = Text(j);
+      if (t == "using" || t == "typedef" || t == "friend" || t == "class" ||
+          t == "struct" || t == "enum" || t == "namespace" ||
+          t == "operator") {
+        return;
+      }
+    }
+    const std::string guard = [&] {
+      const std::vector<std::string> args =
+          DirectiveArgs(dirs_, Directive::kGuardedBy, Line(stmt_begin),
+                        Line(term < model_.code.size() ? term : term - 1));
+      return args.empty() ? std::string() : args.front();
+    }();
+    std::string last_ident;
+    int last_line = 0;
+    bool stop_names = false;
+    auto flush = [&] {
+      if (!last_ident.empty()) {
+        model_.classes[cls_idx].fields.push_back(
+            FieldInfo{last_ident, last_line, guard});
+      }
+      last_ident.clear();
+      stop_names = false;
+    };
+    size_t j = stmt_begin;
+    while (j < term) {
+      const std::string& t = Text(j);
+      if (t == ",") { flush(); ++j; continue; }
+      if (t == "[") { stop_names = true; j = MatchBracket(j, term) + 1; continue; }
+      if (t == ":") { stop_names = true; ++j; continue; }
+      if (IsId(j)) {
+        if (!stop_names) {
+          last_ident = t;
+          last_line = Line(j);
+        }
+        const size_t k = TrySkipAngles(j + 1, term);
+        j = (k == j + 1) ? j + 1 : k;
+        continue;
+      }
+      ++j;
+    }
+    flush();
+  }
+
+  FileModel model_;
+  std::vector<Directive> dirs_;
+};
+
+// ---------------------------------------------------------------------------
+// Body walker: lock model, guarded-by, hot loops, deadlock edges
+
+const std::unordered_set<std::string>& LockWrapperTypes() {
+  static const std::unordered_set<std::string> kSet = {
+      "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+  return kSet;
+}
+
+const std::unordered_set<std::string>& HotAllocMembers() {
+  static const std::unordered_set<std::string> kSet = {
+      "push_back", "emplace_back", "resize"};
+  return kSet;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+class BodyWalker {
+ public:
+  BodyWalker(const FileCtx& ctx, const FileModel& model,
+             const ProjectModel& project, const FunctionInfo& fn,
+             std::vector<Violation>* out, std::vector<LockEdge>* edges)
+      : ctx_(ctx), model_(model), fn_(fn), out_(out), edges_(edges) {
+    const auto git = project.guarded_fields.find(fn.class_name);
+    if (!fn.class_name.empty() && git != project.guarded_fields.end()) {
+      guard_map_ = &git->second;
+    }
+    const auto fit = project.fn_annos.find(fn.class_name);
+    if (fit != project.fn_annos.end()) {
+      methods_ = &fit->second;
+      const auto ait = fit->second.find(fn.name);
+      if (ait != fit->second.end()) {
+        hot_ = ait->second.hot;
+        requires_ = ait->second.requires_locks;
+      }
+    }
+    hot_ = hot_ || fn.hot;
+    for (const std::string& r : fn.requires_locks) requires_.push_back(r);
+    std::sort(requires_.begin(), requires_.end());
+    requires_.erase(std::unique(requires_.begin(), requires_.end()),
+                    requires_.end());
+    check_guards_ = guard_map_ != nullptr && !fn.is_ctor_or_dtor;
+  }
+
+  void Run() {
+    for (const std::string& r : requires_) held_[r] += 1;
+    frames_.push_back({});
+    const size_t begin = fn_.body_begin + 1;
+    const size_t end = fn_.body_end;
+    for (size_t i = begin; i < end; ++i) {
+      const Token& tok = model_.code[i];
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == "{") frames_.push_back({});
+        else if (tok.text == "}") PopFrame();
+        continue;
+      }
+      if (tok.kind != TokKind::kIdentifier) continue;
+      const std::string& t = tok.text;
+
+      if (LockWrapperTypes().count(t)) {
+        const size_t consumed = HandleWrapperDecl(i, end);
+        if (consumed != kNpos) { i = consumed; continue; }
+      }
+      if ((t == "lock" || t == "unlock") && i > begin && Text(i + 1) == "(" &&
+          Text(i + 2) == ")" &&
+          (Text(i - 1) == "." || Text(i - 1) == "->")) {
+        const std::string base = ChainBefore(i - 1, begin);
+        if (!base.empty()) {
+          const auto vit = guard_vars_.find(base);
+          const std::string lock_name =
+              vit != guard_vars_.end() ? vit->second : base;
+          if (t == "lock") Acquire(lock_name, tok.line, /*make_edges=*/true);
+          else Release(lock_name);
+        }
+        i += 2;
+        continue;
+      }
+      if (check_guards_ && guard_map_->count(t) && IsSelfMember(i, begin)) {
+        const std::string& mu = guard_map_->at(t);
+        const auto hit = held_.find(mu);
+        if ((hit == held_.end() || hit->second == 0) &&
+            reported_.insert({t, tok.line}).second) {
+          out_->push_back(
+              {"guarded-by", ctx_.rel_path, tok.line,
+               "field '" + t + "' is annotated guarded_by(" + mu +
+                   ") but is accessed without '" + mu +
+                   "' held — take a std::lock_guard, or annotate the "
+                   "function '// hunterlint: requires(" + mu + ")'"});
+        }
+        continue;
+      }
+      if (methods_ != nullptr && !fn_.is_ctor_or_dtor &&
+          Text(i + 1) == "(" && IsSelfCall(i, begin) && t != fn_.name) {
+        const auto mit = methods_->find(t);
+        if (mit != methods_->end()) {
+          for (const std::string& r : mit->second.requires_locks) {
+            const auto hit = held_.find(r);
+            if ((hit == held_.end() || hit->second == 0) &&
+                reported_.insert({t + "()", tok.line}).second) {
+              out_->push_back(
+                  {"guarded-by", ctx_.rel_path, tok.line,
+                   "call to '" + t + "()' which requires '" + r +
+                       "' — the caller does not hold it"});
+            }
+          }
+        }
+      }
+    }
+    if (hot_) CheckHotLoops();
+  }
+
+ private:
+  const std::string& Text(size_t i) const {
+    static const std::string kEmpty;
+    if (i >= model_.code.size()) return kEmpty;
+    return model_.code[i].text;
+  }
+
+  bool IsId(size_t i) const {
+    return i < model_.code.size() &&
+           model_.code[i].kind == TokKind::kIdentifier;
+  }
+
+  size_t MatchParen(size_t open, size_t limit) const {
+    int depth = 0;
+    for (size_t j = open; j < limit; ++j) {
+      if (Text(j) == "(") ++depth;
+      else if (Text(j) == ")" && --depth == 0) return j;
+    }
+    return limit;
+  }
+
+  size_t MatchBrace(size_t open, size_t limit) const {
+    int depth = 0;
+    for (size_t j = open; j < limit; ++j) {
+      if (Text(j) == "{") ++depth;
+      else if (Text(j) == "}" && --depth == 0) return j;
+    }
+    return limit;
+  }
+
+  size_t TrySkipAngles(size_t from, size_t limit) const {
+    if (Text(from) != "<") return from;
+    int depth = 0;
+    for (size_t j = from; j < limit; ++j) {
+      const std::string& t = Text(j);
+      if (t == "<") ++depth;
+      else if (t == ">") --depth;
+      else if (t == ">>") depth -= 2;
+      else if (t == ";" || t == "{" || t == "}") return from;
+      if (depth <= 0) return j + 1;
+    }
+    return from;
+  }
+
+  // The `a.b->c` identifier chain whose last separator sits at `sep`;
+  // returns the joined spelling with any leading `this->` stripped.
+  std::string ChainBefore(size_t sep, size_t begin) const {
+    std::vector<std::string> parts;
+    size_t j = sep;
+    while (j > begin) {
+      const std::string& s = Text(j);
+      if (s != "." && s != "->" && s != "::") break;
+      if (!IsId(j - 1)) break;
+      parts.push_back(s);
+      parts.push_back(Text(j - 1));
+      if (j < 2) break;
+      j -= 2;
+    }
+    if (parts.empty()) return "";
+    std::reverse(parts.begin(), parts.end());
+    parts.pop_back();  // drop the trailing separator at `sep`
+    std::string joined;
+    for (const std::string& p : parts) joined += p;
+    if (joined.rfind("this->", 0) == 0) joined = joined.substr(6);
+    return joined;
+  }
+
+  bool IsSelfMember(size_t i, size_t begin) const {
+    if (i == begin) return true;
+    const std::string& prev = Text(i - 1);
+    if (prev == ".") return false;
+    if (prev == "::") return false;
+    if (prev == "->") {
+      return i >= begin + 2 && Text(i - 2) == "this";
+    }
+    return true;
+  }
+
+  bool IsSelfCall(size_t i, size_t begin) const {
+    return IsSelfMember(i, begin);
+  }
+
+  std::string Qualify(const std::string& lock_name) const {
+    if (fn_.class_name.empty()) return lock_name;
+    if (lock_name.find('.') != std::string::npos ||
+        lock_name.find("->") != std::string::npos ||
+        lock_name.find("::") != std::string::npos) {
+      return lock_name;
+    }
+    return fn_.class_name + "::" + lock_name;
+  }
+
+  void Acquire(const std::string& lock_name, int line, bool make_edges) {
+    if (make_edges) {
+      for (const auto& [h, cnt] : held_) {
+        if (cnt > 0) {
+          edges_->push_back(
+              {Qualify(h), Qualify(lock_name), ctx_.rel_path, line});
+        }
+      }
+    }
+    held_[lock_name] += 1;
+    frames_.back().push_back(lock_name);
+  }
+
+  void Release(const std::string& lock_name) {
+    auto hit = held_.find(lock_name);
+    if (hit == held_.end() || hit->second == 0) return;
+    hit->second -= 1;
+    for (auto f = frames_.rbegin(); f != frames_.rend(); ++f) {
+      auto pos = std::find(f->begin(), f->end(), lock_name);
+      if (pos != f->end()) { f->erase(pos); return; }
+    }
+  }
+
+  void PopFrame() {
+    if (frames_.size() <= 1) return;  // keep the function-body frame
+    for (const std::string& lock_name : frames_.back()) {
+      auto hit = held_.find(lock_name);
+      if (hit != held_.end() && hit->second > 0) hit->second -= 1;
+    }
+    frames_.pop_back();
+  }
+
+  // `lock_guard<std::mutex> g(mu_);` and friends, starting at the wrapper
+  // type identifier. Returns the index of the init's closing token, or
+  // kNpos when the tokens do not form a guard declaration.
+  size_t HandleWrapperDecl(size_t i, size_t limit) {
+    const std::string& wrapper = Text(i);
+    size_t j = i + 1;
+    j = std::max(j, TrySkipAngles(j, limit));
+    if (!IsId(j)) return kNpos;
+    const std::string var = Text(j);
+    ++j;
+    if (Text(j) != "(" && Text(j) != "{") return kNpos;
+    const size_t close =
+        Text(j) == "(" ? MatchParen(j, limit) : MatchBrace(j, limit);
+    // Split the init args at top-level commas, joined without spaces.
+    std::vector<std::string> args;
+    std::string cur;
+    int depth = 0;
+    for (size_t k = j + 1; k < close; ++k) {
+      const std::string& t = Text(k);
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") --depth;
+      if (t == "," && depth == 0) {
+        args.push_back(cur);
+        cur.clear();
+        continue;
+      }
+      cur += t;
+    }
+    if (!cur.empty()) args.push_back(cur);
+    for (std::string& a : args) {
+      if (a.rfind("this->", 0) == 0) a = a.substr(6);
+    }
+    const bool defer = !args.empty() && EndsWith(args.back(), "defer_lock");
+    const bool adopt = !args.empty() && EndsWith(args.back(), "adopt_lock");
+    const bool try_to = !args.empty() && EndsWith(args.back(), "try_to_lock");
+    if (defer || adopt || try_to) args.pop_back();
+    const int line = model_.code[i].line;
+    if (wrapper == "unique_lock" || wrapper == "shared_lock") {
+      if (!args.empty()) {
+        guard_vars_[var] = args[0];
+        if (!defer) Acquire(args[0], line, /*make_edges=*/!adopt);
+      }
+    } else {
+      for (const std::string& a : args) {
+        if (a.empty()) continue;
+        Acquire(a, line, /*make_edges=*/!adopt);
+      }
+    }
+    return close;
+  }
+
+  // no-alloc-in-hot-loop: loop bodies inside the function, then the banned
+  // allocation shapes inside them.
+  void CheckHotLoops() {
+    std::vector<std::pair<size_t, size_t>> loops;
+    const size_t end = fn_.body_end;
+    for (size_t i = fn_.body_begin; i < end; ++i) {
+      if (!IsId(i)) continue;
+      const std::string& t = Text(i);
+      size_t body_begin = kNpos;
+      if ((t == "for" || t == "while") && Text(i + 1) == "(") {
+        body_begin = MatchParen(i + 1, end) + 1;
+      } else if (t == "do" && Text(i + 1) == "{") {
+        body_begin = i + 1;
+      } else {
+        continue;
+      }
+      if (body_begin >= end) continue;
+      size_t body_end;
+      if (Text(body_begin) == "{") {
+        body_end = MatchBrace(body_begin, end);
+      } else {
+        body_end = body_begin;
+        while (body_end < end && Text(body_end) != ";") ++body_end;
+      }
+      loops.push_back({body_begin, body_end});
+    }
+    std::set<size_t> flagged;
+    for (const auto& [lb, le] : loops) {
+      for (size_t i = lb; i < le; ++i) {
+        if (!IsId(i)) continue;
+        const std::string& t = Text(i);
+        if (t == "new") {
+          Flag(&flagged, i, "'new'");
+        } else if (HotAllocMembers().count(t) && i > lb &&
+                   (Text(i - 1) == "." || Text(i - 1) == "->") &&
+                   Text(i + 1) == "(") {
+          Flag(&flagged, i, "'" + t + "'");
+        } else if (t == "vector" && Text(i + 1) == "<") {
+          // A declaration or temporary constructs (and so allocates); a
+          // reference or pointer to an existing vector does not.
+          const size_t after = TrySkipAngles(i + 1, le);
+          if (after != i + 1 && Text(after) != "&" && Text(after) != "*" &&
+              Text(after) != "::") {
+            Flag(&flagged, i, "std::vector construction");
+          }
+        }
+      }
+    }
+  }
+
+  void Flag(std::set<size_t>* flagged, size_t i, const std::string& what) {
+    if (!flagged->insert(i).second) return;
+    out_->push_back(
+        {"no-alloc-in-hot-loop", ctx_.rel_path, model_.code[i].line,
+         what + " inside a loop of '" + fn_.name +
+             "' which is annotated '// hunterlint: hot' — hot paths must "
+             "not allocate per iteration; hoist the buffer out of the "
+             "loop"});
+  }
+
+  const FileCtx& ctx_;
+  const FileModel& model_;
+  const FunctionInfo& fn_;
+  std::vector<Violation>* out_;
+  std::vector<LockEdge>* edges_;
+
+  const std::map<std::string, std::string>* guard_map_ = nullptr;
+  const std::map<std::string, ProjectModel::FnAnno>* methods_ = nullptr;
+  bool check_guards_ = false;
+  bool hot_ = false;
+  std::vector<std::string> requires_;
+
+  std::map<std::string, int> held_;
+  std::vector<std::vector<std::string>> frames_;
+  std::map<std::string, std::string> guard_vars_;
+  std::set<std::pair<std::string, int>> reported_;
+};
+
+}  // namespace
+
+FileModel BuildFileModel(const LexedFile& lex) {
+  return Parser(lex).Take();
+}
+
+void MergeFileModel(const FileModel& model, ProjectModel* project) {
+  for (const ClassInfo& cls : model.classes) {
+    for (const FieldInfo& field : cls.fields) {
+      if (!field.guarded_by.empty()) {
+        project->guarded_fields[cls.name][field.name] = field.guarded_by;
+      }
+    }
+  }
+  for (const FunctionInfo& fn : model.functions) {
+    if (!fn.hot && fn.requires_locks.empty()) continue;
+    ProjectModel::FnAnno& anno = project->fn_annos[fn.class_name][fn.name];
+    anno.hot = anno.hot || fn.hot;
+    anno.requires_locks.insert(anno.requires_locks.end(),
+                               fn.requires_locks.begin(),
+                               fn.requires_locks.end());
+    std::sort(anno.requires_locks.begin(), anno.requires_locks.end());
+    anno.requires_locks.erase(
+        std::unique(anno.requires_locks.begin(), anno.requires_locks.end()),
+        anno.requires_locks.end());
+  }
+}
+
+void RunSemanticRules(const FileCtx& ctx, const FileModel& model,
+                      const ProjectModel& project,
+                      std::vector<Violation>* out,
+                      std::vector<LockEdge>* edges) {
+  for (const FunctionInfo& fn : model.functions) {
+    if (fn.body_begin == kNoBody) continue;
+    BodyWalker(ctx, model, project, fn, out, edges).Run();
+  }
+}
+
+void CheckDeadlockOrder(const std::vector<LockEdge>& edges,
+                        std::vector<Violation>* out) {
+  // Unique directed pairs, each with every site it was observed at.
+  std::map<std::pair<std::string, std::string>,
+           std::set<std::pair<std::string, int>>>
+      sites;
+  std::set<std::string> node_set;
+  for (const LockEdge& e : edges) {
+    sites[{e.held, e.acquired}].insert({e.path, e.line});
+    node_set.insert(e.held);
+    node_set.insert(e.acquired);
+  }
+
+  // Tarjan SCC over the sorted node list: deterministic component ids.
+  const std::vector<std::string> nodes(node_set.begin(), node_set.end());
+  std::map<std::string, size_t> id;
+  for (size_t i = 0; i < nodes.size(); ++i) id[nodes[i]] = i;
+  std::vector<std::vector<size_t>> adj(nodes.size());
+  for (const auto& [pair, _] : sites) {
+    adj[id[pair.first]].push_back(id[pair.second]);
+  }
+  const size_t n = nodes.size();
+  std::vector<size_t> index(n, kNpos), low(n, 0), comp(n, kNpos);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  size_t next_index = 0, next_comp = 0;
+  // Iterative Tarjan (explicit frame stack; fixture cycles are tiny but the
+  // tree-wide graph is unbounded).
+  struct Frame { size_t v; size_t child; };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kNpos) continue;
+    std::vector<Frame> call{{root, 0}};
+    while (!call.empty()) {
+      Frame& fr = call.back();
+      const size_t v = fr.v;
+      if (fr.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (fr.child < adj[v].size()) {
+        const size_t w = adj[v][fr.child++];
+        if (index[w] == kNpos) {
+          call.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          const size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        const size_t parent = call.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  std::vector<size_t> comp_size(next_comp, 0);
+  for (size_t v = 0; v < n; ++v) comp_size[comp[v]] += 1;
+
+  std::vector<Violation> found;
+  for (const auto& [pair, edge_sites] : sites) {
+    const std::string& a = pair.first;
+    const std::string& b = pair.second;
+    std::string cycle;
+    if (a == b) {
+      cycle = "'" + a + "' is re-acquired while already held";
+    } else if (comp[id[a]] == comp[id[b]] && comp_size[comp[id[a]]] > 1) {
+      std::string members;
+      for (size_t v = 0; v < n; ++v) {
+        if (comp[v] != comp[id[a]]) continue;
+        if (!members.empty()) members += ", ";
+        members += nodes[v];
+      }
+      cycle = "cycle among {" + members + "}";
+    } else {
+      continue;
+    }
+    for (const auto& [path, line] : edge_sites) {
+      found.push_back(
+          {"deadlock-order", path, line,
+           "acquiring '" + b + "' while holding '" + a + "' — " + cycle +
+               "; every thread must take these locks in one global order"});
+    }
+  }
+  std::stable_sort(found.begin(), found.end(),
+                   [](const Violation& x, const Violation& y) {
+                     if (x.path != y.path) return x.path < y.path;
+                     if (x.line != y.line) return x.line < y.line;
+                     return x.message < y.message;
+                   });
+  out->insert(out->end(), found.begin(), found.end());
+}
+
+}  // namespace hunter::lint

@@ -1,0 +1,132 @@
+// hunterlint semantic layer (DESIGN.md §12).
+//
+// The token-level rules in rules.cc can ban a name anywhere it appears, but
+// HUNTER's concurrency and hot-path invariants are *scoped* properties: a
+// field access is only wrong when the declared mutex is not held, an
+// allocation is only wrong inside a loop of a function declared hot. This
+// header grows the linter a small semantic model on top of the lexer:
+//
+//   - a preprocessor-aware parser pass producing a per-file symbol table
+//     (classes with their fields, function definitions with body token
+//     ranges, out-of-line methods resolved to their class),
+//   - a lock-acquisition model covering std::lock_guard, std::scoped_lock,
+//     std::unique_lock (incl. defer_lock and manual lock()/unlock()) and
+//     direct mutex .lock()/.unlock() calls, with block-scoped release,
+//   - a lightweight call graph: calls to methods annotated
+//     `// hunterlint: requires(mu_)` are checked at every call site.
+//
+// The annotation vocabulary, matched inside comments like the suppression
+// syntax:
+//
+//   // hunterlint: guarded_by(mu_)   on a field declaration: every access
+//                                    must happen with mu_ held
+//   // hunterlint: requires(mu_)     on a function: callers must hold mu_;
+//                                    the body is checked assuming it is held
+//   // hunterlint: hot               on a function: no new/push_back/resize/
+//                                    vector construction inside its loops
+//
+// An annotation attaches to the declaration on its line; a comment alone on
+// its line attaches to the declaration starting on the next line (same
+// convention as `allow`). Three rule families consume the model:
+//
+//   guarded-by            annotated fields accessed without their mutex
+//   no-alloc-in-hot-loop  allocations inside loops of hot functions
+//   deadlock-order        cycles in the cross-file lock acquisition order
+//
+// Because `guarded_by` annotations live on field declarations in headers
+// while the accesses live in .cc files, the driver merges every file's
+// symbol table into a ProjectModel first and then runs the rules per file
+// against the merged model (see hunterlint.cc).
+
+#ifndef HUNTER_TOOLS_HUNTERLINT_SEM_H_
+#define HUNTER_TOOLS_HUNTERLINT_SEM_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hunterlint/lexer.h"
+#include "hunterlint/rules.h"
+
+namespace hunter::lint {
+
+struct FieldInfo {
+  std::string name;
+  int line = 0;
+  std::string guarded_by;  // empty when unannotated
+};
+
+struct ClassInfo {
+  std::string name;  // unqualified
+  std::vector<FieldInfo> fields;
+};
+
+constexpr size_t kNoBody = static_cast<size_t>(-1);
+
+struct FunctionInfo {
+  std::string class_name;  // enclosing class or out-of-line qualifier; ""
+                           // for free functions
+  std::string name;
+  int line = 0;            // line of the declarator name
+  bool is_ctor_or_dtor = false;
+  bool hot = false;
+  std::vector<std::string> requires_locks;  // as written (unqualified)
+  // Token indices into FileModel::code of the body's '{' and '}'.
+  // body_begin == kNoBody for declarations without a body.
+  size_t body_begin = kNoBody;
+  size_t body_end = kNoBody;
+};
+
+// Per-file symbol table. `code` is the lexed token stream with preprocessor
+// directive lines removed, so the parser and the rule scans never trip over
+// `#ifndef FOO_H_` / `#define` tokens.
+struct FileModel {
+  std::vector<Token> code;
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+};
+
+FileModel BuildFileModel(const LexedFile& lex);
+
+// Cross-file knowledge merged from every FileModel: which fields are
+// guarded by which mutex (keyed by class), and which functions carry
+// requires/hot annotations (keyed by class then name, "" for free
+// functions). std::map keeps every downstream iteration deterministic.
+struct ProjectModel {
+  struct FnAnno {
+    bool hot = false;
+    std::vector<std::string> requires_locks;  // sorted, deduped
+  };
+  std::map<std::string, std::map<std::string, std::string>> guarded_fields;
+  std::map<std::string, std::map<std::string, FnAnno>> fn_annos;
+};
+
+void MergeFileModel(const FileModel& model, ProjectModel* project);
+
+// One observed "acquired B while holding A" event. Lock names are
+// class-qualified ("ThreadPool::mutex_") so the same member name in two
+// classes stays two graph nodes across files.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  std::string path;
+  int line = 0;
+};
+
+// Runs guarded-by and no-alloc-in-hot-loop over one file against the merged
+// project model, appending violations to `out` and every lock-order edge
+// observed in this file to `edges`.
+void RunSemanticRules(const FileCtx& ctx, const FileModel& model,
+                      const ProjectModel& project,
+                      std::vector<Violation>* out,
+                      std::vector<LockEdge>* edges);
+
+// deadlock-order: finds strongly connected components in the acquisition
+// graph and reports every edge inside a cycle at the site it was observed.
+void CheckDeadlockOrder(const std::vector<LockEdge>& edges,
+                        std::vector<Violation>* out);
+
+}  // namespace hunter::lint
+
+#endif  // HUNTER_TOOLS_HUNTERLINT_SEM_H_

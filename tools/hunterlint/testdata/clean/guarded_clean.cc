@@ -1,0 +1,53 @@
+// Clean fixture: the annotation vocabulary used correctly. Guarded fields
+// are only touched under their mutex (via lock_guard scopes and a deferred
+// unique_lock that locks before use), the requires() helper is called with
+// the lock held, locks are always taken in the same order, and the hot
+// function keeps its loop allocation-free.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void Push(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(v);
+    BumpLocked();
+  }
+
+  double Drain() {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    lock.lock();
+    double sum = 0.0;
+    for (double v : items_) sum += v;
+    items_.clear();
+    lock.unlock();
+    return sum;
+  }
+
+  void Transfer(Queue* other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> other_lock(other->mu_);
+    for (double v : items_) other->items_.push_back(v);
+  }
+
+ private:
+  // hunterlint: requires(mu_)
+  void BumpLocked() { ++pushes_; }
+
+  std::mutex mu_;
+  std::vector<double> items_;  // hunterlint: guarded_by(mu_)
+  long pushes_ = 0;            // hunterlint: guarded_by(mu_)
+};
+
+// hunterlint: hot
+inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace fixture

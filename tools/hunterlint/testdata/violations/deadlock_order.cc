@@ -1,0 +1,32 @@
+// Violation fixture: methods that acquire the same mutexes in opposite
+// orders form a cycle in the lock-order graph; rule `deadlock-order`
+// reports the cycle at every acquisition site that contributes an edge,
+// and re-acquiring a mutex already held is reported as a self-deadlock.
+
+#include <mutex>
+
+namespace fixture {
+
+class TwoLocks {
+ public:
+  void Forward() {
+    std::lock_guard<std::mutex> a(a_);
+    std::lock_guard<std::mutex> b(b_);  // edge a_ -> b_
+  }
+
+  void Backward() {
+    std::lock_guard<std::mutex> b(b_);
+    std::lock_guard<std::mutex> a(a_);  // edge b_ -> a_ closes the cycle
+  }
+
+  void Reacquire() {
+    std::lock_guard<std::mutex> first(a_);
+    std::lock_guard<std::mutex> again(a_);  // a_ is already held
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+};
+
+}  // namespace fixture

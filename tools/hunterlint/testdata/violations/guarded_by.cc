@@ -1,0 +1,41 @@
+// Violation fixture: fields annotated `// hunterlint: guarded_by(mu)` may
+// only be touched while `mu` is held, and `// hunterlint: requires(mu)`
+// helpers may only be called with the lock in hand. Every unguarded access
+// below must be reported by rule `guarded-by` (see DESIGN.md §12).
+
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Ok() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;  // guarded: legal
+  }
+
+  void Bad() {
+    ++hits_;  // unguarded write
+  }
+
+  void BadHelperCall() {
+    Bump();  // requires(mu_), but mu_ is not held here
+  }
+
+  void AfterScope() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++hits_;
+    }
+    ++hits_;  // the guard released mu_ at the brace above
+  }
+
+ private:
+  // hunterlint: requires(mu_)
+  void Bump() { ++hits_; }
+
+  std::mutex mu_;
+  long hits_ = 0;  // hunterlint: guarded_by(mu_)
+};
+
+}  // namespace fixture

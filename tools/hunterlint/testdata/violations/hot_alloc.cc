@@ -1,0 +1,28 @@
+// Violation fixture: functions annotated `// hunterlint: hot` must not
+// allocate per loop iteration. Each allocation in Accumulate's loop must be
+// reported by rule `no-alloc-in-hot-loop`; the identical body in the cold
+// function below is legal.
+
+#include <vector>
+
+namespace fixture {
+
+// hunterlint: hot
+inline void Accumulate(const std::vector<double>& in,
+                       std::vector<double>* out) {
+  for (double v : in) {
+    out->push_back(v);           // per-iteration growth
+    std::vector<double> tmp(4);  // per-iteration construction
+    tmp[0] = v;
+    double* p = new double[4];   // raw allocation
+    delete[] p;
+    out->resize(out->size());    // resize inside the loop
+  }
+}
+
+// Not annotated hot: the same shape is legal in a cold function.
+inline void Cold(const std::vector<double>& in, std::vector<double>* out) {
+  for (double v : in) out->push_back(v);
+}
+
+}  // namespace fixture

@@ -1,0 +1,105 @@
+// lintdiff — diffs two `hunterlint --format=json` reports.
+//
+// Usage:
+//   lintdiff OLD.json NEW.json
+//
+// Prints one line per difference: `- path:line: [rule] message` for a
+// violation present in OLD but not NEW (resolved), `+ ...` for one present
+// in NEW but not OLD (introduced). Identical multiplicities cancel, so a
+// violation reported twice in OLD and once in NEW shows one `-` line.
+//
+// Exit status: 0 when the reports are identical, 1 when they differ, 2 on
+// usage/IO/parse errors. check.sh uses the 0 case as a determinism gate
+// (two runs over the same tree must produce the same report) and the 1
+// case to compare a run against the last known-good report.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hunterlint/hunterlint.h"
+#include "hunterlint/report.h"
+
+namespace {
+
+bool LoadReport(const char* path, std::vector<hunter::lint::Violation>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "lintdiff: cannot open '%s'\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  if (!hunter::lint::ParseViolationsJson(buf.str(), out, &error)) {
+    std::fprintf(stderr, "lintdiff: malformed report '%s': %s\n", path,
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Violations keyed by their full identity, with multiplicity.
+std::map<std::string, int> Multiset(
+    const std::vector<hunter::lint::Violation>& violations) {
+  std::map<std::string, int> out;
+  for (const hunter::lint::Violation& v : violations) {
+    out[hunter::lint::FormatViolation(v)] += 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: lintdiff OLD.json NEW.json\n");
+    return 2;
+  }
+  std::vector<hunter::lint::Violation> old_violations, new_violations;
+  if (!LoadReport(argv[1], &old_violations) ||
+      !LoadReport(argv[2], &new_violations)) {
+    return 2;
+  }
+
+  const std::map<std::string, int> old_set = Multiset(old_violations);
+  const std::map<std::string, int> new_set = Multiset(new_violations);
+
+  int resolved = 0, introduced = 0;
+  std::vector<std::string> lines;
+  for (const auto& [key, count] : old_set) {
+    const auto it = new_set.find(key);
+    const int remaining = (it == new_set.end()) ? 0 : it->second;
+    for (int k = remaining; k < count; ++k) {
+      lines.push_back("- " + key);
+      ++resolved;
+    }
+  }
+  for (const auto& [key, count] : new_set) {
+    const auto it = old_set.find(key);
+    const int previous = (it == old_set.end()) ? 0 : it->second;
+    for (int k = previous; k < count; ++k) {
+      lines.push_back("+ " + key);
+      ++introduced;
+    }
+  }
+  // `-` lines first, then `+`, each in report order (the keys sort by path
+  // then line lexically close enough; keep the map order for stability).
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const std::string& a, const std::string& b) {
+                     return a[0] == '-' && b[0] == '+';
+                   });
+  for (const std::string& l : lines) std::printf("%s\n", l.c_str());
+
+  if (resolved == 0 && introduced == 0) {
+    std::printf("lintdiff: reports identical (%zu violation(s))\n",
+                new_violations.size());
+    return 0;
+  }
+  std::printf("lintdiff: %d resolved, %d introduced\n", resolved, introduced);
+  return 1;
+}
