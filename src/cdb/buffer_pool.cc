@@ -4,53 +4,43 @@
 
 namespace hunter::cdb {
 
-BufferPool::BufferPool(uint64_t capacity_pages)
-    : capacity_(std::max<uint64_t>(1, capacity_pages)) {
-  entries_.reserve(capacity_);
-}
-
-bool BufferPool::Access(uint64_t page_id, bool make_dirty) {
-  auto it = entries_.find(page_id);
-  if (it != entries_.end()) {
-    ++hits_;
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(page_id);
-    it->second.lru_pos = lru_.begin();
-    if (make_dirty && !it->second.dirty) {
-      it->second.dirty = true;
-      ++dirty_count_;
-    }
-    return true;
+void BufferPool::Reset(uint64_t capacity_pages) {
+  capacity_ = std::max<uint64_t>(1, capacity_pages);
+  bool reused = lru_.Reset(capacity_);
+  if (dirty_.size() < capacity_) {
+    // Stale dirty bits are never read: every insert writes its slot's bit
+    // before any read, so the slab only needs to be large enough.
+    dirty_.resize(capacity_);
+    reused = false;
   }
-  ++misses_;
-  if (entries_.size() >= capacity_) EvictOne();
-  lru_.push_front(page_id);
-  Entry entry;
-  entry.lru_pos = lru_.begin();
-  entry.dirty = make_dirty;
-  if (make_dirty) ++dirty_count_;
-  entries_.emplace(page_id, entry);
-  return false;
+  dirty_count_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+  dirty_evictions_ = 0;
+  ++resets_;
+  if (reused) ++slab_reuses_;
 }
 
 void BufferPool::EvictOne() {
-  const uint64_t victim = lru_.back();
-  lru_.pop_back();
-  auto it = entries_.find(victim);
-  if (it->second.dirty) {
+  const uint32_t victim = lru_.back();
+  if (dirty_[victim] != 0) {
     ++dirty_evictions_;
     --dirty_count_;
   }
-  entries_.erase(it);
+  lru_.EvictBack();
 }
 
+// hunterlint: hot
 uint64_t BufferPool::FlushDirty(uint64_t max_pages) {
   uint64_t cleaned = 0;
-  // Clean from the cold end of the LRU, as page cleaners do.
-  for (auto it = lru_.rbegin(); it != lru_.rend() && cleaned < max_pages; ++it) {
-    auto entry = entries_.find(*it);
-    if (entry->second.dirty) {
-      entry->second.dirty = false;
+  // Clean from the cold end of the LRU, as page cleaners do. Stopping once
+  // no dirty pages remain skips a provably no-op tail walk.
+  for (uint32_t slot = lru_.back();
+       slot != common::FlatLru::kNil && cleaned < max_pages &&
+       dirty_count_ != 0;
+       slot = lru_.Warmer(slot)) {
+    if (dirty_[slot] != 0) {
+      dirty_[slot] = 0;
       --dirty_count_;
       ++cleaned;
     }
@@ -64,10 +54,10 @@ double BufferPool::HitRatio() const {
 }
 
 double BufferPool::DirtyFraction() const {
-  return entries_.empty()
+  return lru_.size() == 0
              ? 0.0
              : static_cast<double>(dirty_count_) /
-                   static_cast<double>(entries_.size());
+                   static_cast<double>(lru_.size());
 }
 
 void BufferPool::ResetCounters() {
@@ -79,12 +69,11 @@ void BufferPool::ResetCounters() {
 void BufferPool::Prewarm(uint64_t n) {
   const uint64_t count = std::min(n, capacity_);
   for (uint64_t page = 0; page < count; ++page) {
-    if (entries_.find(page) == entries_.end()) {
-      if (entries_.size() >= capacity_) EvictOne();
-      lru_.push_back(page);  // prewarmed pages are colder than live traffic
-      Entry entry;
-      entry.lru_pos = std::prev(lru_.end());
-      entries_.emplace(page, entry);
+    if (lru_.Find(page) == common::FlatLru::kNil) {
+      if (lru_.size() >= capacity_) EvictOne();
+      // Prewarmed pages are colder than live traffic.
+      const uint32_t slot = lru_.InsertBack(page);
+      dirty_[slot] = 0;
     }
   }
 }

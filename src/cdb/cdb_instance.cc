@@ -57,6 +57,13 @@ PerfResult CdbInstance::StressTest(const WorkloadProfile& workload) {
       // a deterministic function of exactly these, so the memoized result
       // and post-run RNG state are what a real run would produce.
       rng_ = hit->rng_after;
+      if (hit->pool_reset) {
+        // The replay this hit short-circuits would have re-armed the pool,
+        // and — because the memoized first run already sized the slabs and
+        // slabs never shrink — that Reset would have been a slab reuse.
+        ++pool_stats_.resets;
+        ++pool_stats_.slab_reuses;
+      }
       PerfResult result = hit->result;
       if (!result.boot_failed) warm_ = true;  // pool is hot after a run
       return result;
@@ -65,7 +72,11 @@ PerfResult CdbInstance::StressTest(const WorkloadProfile& workload) {
     ++eval_cache_stats_.misses;
   }
 
+  const uint64_t resets_before = engine_.pool_resets();
+  const uint64_t reuses_before = engine_.pool_slab_reuses();
   PerfResult result = engine_.Run(config_, workload, warm_, &rng_);
+  pool_stats_.resets += engine_.pool_resets() - resets_before;
+  pool_stats_.slab_reuses += engine_.pool_slab_reuses() - reuses_before;
   if (hit == nullptr) {
     EvalCacheEntry entry;
     entry.config = config_;
@@ -74,6 +85,7 @@ PerfResult CdbInstance::StressTest(const WorkloadProfile& workload) {
     entry.rng_fingerprint = fingerprint;
     entry.result = result;
     entry.rng_after = rng_;
+    entry.pool_reset = engine_.pool_resets() > resets_before;
     if (eval_cache_.size() < kEvalCacheCapacity) {
       eval_cache_.push_back(std::move(entry));
     } else {

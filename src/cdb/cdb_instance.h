@@ -92,6 +92,21 @@ class CdbInstance {
   bool eval_cache_enabled() const { return eval_cache_enabled_; }
   const EvalCacheStats& eval_cache_stats() const { return eval_cache_stats_; }
 
+  // ---- Buffer-pool reuse accounting ---------------------------------
+  // The engine re-arms one long-lived pool per evaluation (Reset) instead
+  // of constructing one; `slab_reuses` counts how many of those re-arms
+  // reused the existing slabs without allocating. Accounted here rather
+  // than read straight off the engine so the numbers are byte-identical
+  // whether the eval cache is enabled or not: a served hit charges the
+  // (1 reset, 1 reuse) the skipped replay would have produced — the first
+  // occurrence of the same configuration already grew the slabs to size,
+  // and slabs never shrink, so the replay's Reset is always a reuse.
+  struct PoolStats {
+    uint64_t resets = 0;
+    uint64_t slab_reuses = 0;
+  };
+  const PoolStats& pool_stats() const { return pool_stats_; }
+
   // Deployment cost constants (simulated seconds, from the paper's
   // Table 1: knob deployment averages 21.3 s).
   static constexpr double kDynamicDeploySeconds = 3.0;
@@ -106,6 +121,9 @@ class CdbInstance {
     std::array<uint64_t, 6> rng_fingerprint{};
     PerfResult result;
     common::Rng rng_after;
+    // Whether the memoized run armed the pool (false for boot failures,
+    // which return before touching it); a served hit replays this much.
+    bool pool_reset = false;
   };
   // Retries arrive within a round, so a handful of entries is plenty.
   static constexpr size_t kEvalCacheCapacity = 8;
@@ -121,6 +139,7 @@ class CdbInstance {
   size_t eval_cache_next_ = 0;  // ring-replacement cursor
   bool eval_cache_enabled_ = true;
   EvalCacheStats eval_cache_stats_;
+  PoolStats pool_stats_;
 };
 
 }  // namespace hunter::cdb

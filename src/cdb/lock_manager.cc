@@ -2,30 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace hunter::cdb {
 
 // hunterlint: hot
 LockSimResult LockManager::Simulate(const LockSimConfig& config,
-                                    common::Rng* rng) {
+                                    common::Rng* rng,
+                                    common::ZipfTable* zipf,
+                                    Table* table) {
   LockSimResult result;
   if (config.num_txns == 0 || config.writes_per_txn <= 0.0) return result;
 
-  struct LockEntry {
-    double release_time = 0.0;
-    // End of the holder's acquisition phase; a waiter arriving before this
-    // can form a cycle with the holder (both still collecting locks).
-    double acquire_end = 0.0;
-  };
-  std::unordered_map<uint64_t, LockEntry> lock_table;
-  lock_table.reserve(config.num_txns);
+  // Size the table for the expected distinct-row population, not the txn
+  // count: with low skew nearly every drawn row is distinct, and a table
+  // reserved only for num_txns rehashes (twice, for the default write mix)
+  // in the middle of the replay. Capped by hot_rows, the whole row space.
+  const size_t expected_rows = static_cast<size_t>(
+      std::min<uint64_t>(config.hot_rows,
+                         static_cast<uint64_t>(config.num_txns) *
+                             (static_cast<uint64_t>(config.writes_per_txn) + 1)));
+  Table local_table;
+  Table* lock_table = table != nullptr ? table : &local_table;
+  lock_table->Reset(expected_rows);
+
+  // Bind the row sampler once — its cached constants replace the per-draw
+  // (n, theta) check rng->Zipf did on every row pick, and when the caller
+  // supplies the table they survive into the next Simulate call too.
+  common::ZipfTable local_zipf;
+  common::ZipfTable* rows = zipf != nullptr ? zipf : &local_zipf;
+  rows->Rebind(config.hot_rows, config.zipf_theta);
 
   // Transactions arrive so that `concurrency` of them overlap on average.
   const double inter_arrival =
       config.hold_time_ms / std::max(1.0, config.concurrency);
   // Locks are acquired over the first ~40% of the transaction's lifetime.
   const double acquire_phase = 0.4 * config.hold_time_ms;
+  // Loop-invariant config terms, read once instead of per lock probe.
+  const double hold_time_ms = config.hold_time_ms;
+  const double wait_timeout_ms = config.lock_wait_timeout_ms;
+  const bool deadlock_detect = config.deadlock_detect;
 
   double total_wait = 0.0;
   size_t conflicted = 0, deadlocks = 0, timeouts = 0;
@@ -41,42 +58,42 @@ LockSimResult LockManager::Simulate(const LockSimConfig& config,
     size_t held = 0;
 
     for (size_t w = 0; w < writes; ++w) {
-      const uint64_t row = rng->Zipf(config.hot_rows, config.zipf_theta);
+      const uint64_t row = rows->Sample(rng);
       now = arrival + acquire_phase * static_cast<double>(w + 1) /
                           static_cast<double>(writes) + txn_wait;
-      auto it = lock_table.find(row);
-      if (it != lock_table.end() && it->second.release_time > now) {
+      const Entry* holder = lock_table->Find(row);
+      if (holder != nullptr && holder->release_time > now) {
         waited = true;
         // Potential deadlock: we already hold locks and the holder is still
         // inside its own acquisition phase (it may come to wait on us). A
         // cycle only forms if the holder actually picks one of our rows,
         // which is itself roughly a conflict-probability event.
-        if (held > 0 && now < it->second.acquire_end && rng->Bernoulli(0.25)) {
+        if (held > 0 && now < holder->acquire_end && rng->Bernoulli(0.25)) {
           ++deadlocks;
           dead = true;
-          if (config.deadlock_detect) {
+          if (deadlock_detect) {
             // Detected immediately: this txn aborts, paying a small penalty.
             txn_wait += 1.0;
             break;
           }
           // Without detection the cycle only breaks via the wait timeout.
-          txn_wait += config.lock_wait_timeout_ms;
+          txn_wait += wait_timeout_ms;
           ++timeouts;
           break;
         }
-        const double wait = it->second.release_time - now;
-        if (wait > config.lock_wait_timeout_ms) {
-          txn_wait += config.lock_wait_timeout_ms;
+        const double wait = holder->release_time - now;
+        if (wait > wait_timeout_ms) {
+          txn_wait += wait_timeout_ms;
           ++timeouts;
           break;
         }
         txn_wait += wait;
         now += wait;
       }
-      LockEntry entry;
-      entry.release_time = arrival + txn_wait + config.hold_time_ms;
+      Entry entry;
+      entry.release_time = arrival + txn_wait + hold_time_ms;
       entry.acquire_end = arrival + txn_wait + acquire_phase;
-      lock_table[row] = entry;
+      lock_table->At(row) = entry;
       ++held;
     }
 

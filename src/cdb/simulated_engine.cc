@@ -105,6 +105,23 @@ bool SimulatedEngine::ValidateBoot(const Configuration& config,
 }
 
 // hunterlint: hot
+void SimulatedEngine::ReplayAccessStream(int warmup, double io_capacity) const {
+  for (int i = 0; i < warmup; ++i) {
+    const size_t a = static_cast<size_t>(i);
+    pool_.Access(access_pages_[a], access_is_write_[a] != 0);
+  }
+  pool_.ResetCounters();
+  // Background page cleaning proportional to the io_capacity budget; the
+  // per-flush budget is loop-invariant, so the division is hoisted.
+  const uint64_t flush_budget = static_cast<uint64_t>(io_capacity / 256.0) + 1;
+  for (int i = 0; i < kMeasuredAccesses; ++i) {
+    const size_t a = static_cast<size_t>(warmup + i);
+    pool_.Access(access_pages_[a], access_is_write_[a] != 0);
+    if ((i & 255) == 0) pool_.FlushDirty(flush_budget);
+  }
+}
+
+// hunterlint: hot
 PerfResult SimulatedEngine::Run(const Configuration& config,
                                 const WorkloadProfile& workload,
                                 bool warm_start, common::Rng* rng) const {
@@ -161,41 +178,31 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
       std::max<uint64_t>(16, static_cast<uint64_t>(data_mb / page_mb));
   const uint64_t bp_pages =
       std::max<uint64_t>(1, static_cast<uint64_t>(bp_mb / page_mb));
-  BufferPool pool(bp_pages);
+  pool_.Reset(bp_pages);
   if (warm_start) {
     // The CDB warm-up function restores the hottest pages (low Zipf ranks
     // map to low page ids in this simulation).
-    pool.Prewarm(std::min<uint64_t>(bp_pages, data_pages));
+    pool_.Prewarm(std::min<uint64_t>(bp_pages, data_pages));
   }
   const double write_access_fraction = 1.0 - workload.read_fraction;
   const int warmup = warm_start ? kWarmupAccesses / 4 : kWarmupAccesses;
   // Draw the whole access stream up front (same interleaved draw order the
   // former per-access loops used, so the RNG stream is unchanged), then
-  // replay it through the pool. One tight sampling loop keeps the Zipf
-  // constants hot and separates distribution math from pool bookkeeping.
+  // replay it through the pool. The page sampler is a ZipfTable owned by
+  // the engine: its constants stay warm across evaluations even though the
+  // lock replay below draws from a different (n, theta).
   const size_t total_accesses =
       static_cast<size_t>(warmup) + static_cast<size_t>(kMeasuredAccesses);
   access_pages_.resize(total_accesses);
   access_is_write_.resize(total_accesses);
+  access_zipf_.Rebind(data_pages, workload.zipf_theta);
   for (size_t i = 0; i < total_accesses; ++i) {
-    access_pages_[i] = rng->Zipf(data_pages, workload.zipf_theta);
+    access_pages_[i] = access_zipf_.Sample(rng);
     access_is_write_[i] = rng->Bernoulli(write_access_fraction) ? 1 : 0;
   }
-  for (int i = 0; i < warmup; ++i) {
-    const size_t a = static_cast<size_t>(i);
-    pool.Access(access_pages_[a], access_is_write_[a] != 0);
-  }
-  pool.ResetCounters();
-  for (int i = 0; i < kMeasuredAccesses; ++i) {
-    const size_t a = static_cast<size_t>(warmup + i);
-    pool.Access(access_pages_[a], access_is_write_[a] != 0);
-    if ((i & 255) == 0) {
-      // Background page cleaning proportional to the io_capacity budget.
-      pool.FlushDirty(static_cast<uint64_t>(io_capacity / 256.0) + 1);
-    }
-  }
-  const double miss_ratio = 1.0 - pool.HitRatio();
-  const double dirty_fraction = pool.DirtyFraction();
+  ReplayAccessStream(warmup, io_capacity);
+  const double miss_ratio = 1.0 - pool_.HitRatio();
+  const double dirty_fraction = pool_.DirtyFraction();
 
   // ---- Per-transaction demand components.
   const double read_ops =
@@ -272,7 +279,8 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
   lock_config.hold_time_ms = std::max(0.5, base_service_ms);
   lock_config.lock_wait_timeout_ms = lock_wait_timeout_s * 1000.0;
   lock_config.deadlock_detect = deadlock_detect;
-  const LockSimResult locks = LockManager::Simulate(lock_config, rng);
+  const LockSimResult locks =
+      LockManager::Simulate(lock_config, rng, &lock_zipf_, &lock_table_);
   if (deadlock_detect) {
     // Active detection burns CPU proportional to the conflict rate.
     cpu_ms += 0.3 * locks.conflict_rate;
@@ -313,6 +321,35 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
   // path's sync costs scale away with the redo volume.
   const double write_activity =
       std::clamp(workload.redo_kb_per_txn / 0.5, 0.0, 1.0);
+  // Rate-independent pieces of the fixed point, hoisted out of the loop.
+  // Every cached value is the identical subexpression the loop body used
+  // to evaluate per iteration (the WAL write amplification is itself
+  // rate-independent — EstimateAtRate always returns
+  // inv.base_write_amplification — so everything derived from it is too),
+  // which keeps the iterates bit-identical to the unhoisted loop.
+  //
+  // Dirty-page pressure: surplus production must be flushed by the
+  // foreground threads (write stalls).
+  const bool bursting = dirty_fraction * 100.0 > max_dirty_pct;
+  const double cleaner_eff = std::clamp(lru_scan_depth / 1024.0, 0.5, 2.0);
+  const double flush_capacity =
+      (bursting ? io_capacity_max : io_capacity) * cleaner_eff;
+  const double x_cpu = instance_.cpu_cores * 1000.0 / cpu_ms / latch_eff;
+  const double wal_write_amp = wal_invariants.base_write_amplification;
+  const double device_ops_per_txn =
+      misses_per_txn + dirty_pages_per_txn * wal_write_amp * 0.5;
+  // Sustained dirtying cannot outrun total cleaning capacity (background
+  // cleaners plus the foreground share of the write device).
+  const double fg_flush_capacity =
+      instance_.disk_write_iops * 0.3 / wal_write_amp;
+  const double x_dirty =
+      dirty_pages_per_txn > 0.01
+          ? (flush_capacity + fg_flush_capacity) / dirty_pages_per_txn
+          : std::numeric_limits<double>::infinity();
+  // Letting the pool run very dirty defers work into checkpoint storms.
+  const double dirty_storm_ms = 0.02 * (max_dirty_pct - 90.0);
+  // Deep LRU scans burn cleaner CPU whether or not pages need flushing.
+  const double lru_scan_cpu_ms = 0.00002 * lru_scan_depth;
   WalCost wal;
   double stall_ms = 0.0;
   for (int iter = 0; iter < 40; ++iter) {
@@ -320,21 +357,13 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
     wal.commit_cost_ms *= write_activity;
     wal.log_wait_ms *= write_activity;
 
-    // Dirty-page pressure: surplus production must be flushed by the
-    // foreground threads (write stalls).
-    const bool bursting = dirty_fraction * 100.0 > max_dirty_pct;
-    const double cleaner_eff = std::clamp(lru_scan_depth / 1024.0, 0.5, 2.0);
-    const double flush_capacity =
-        (bursting ? io_capacity_max : io_capacity) * cleaner_eff;
     const double dirty_rate = throughput * dirty_pages_per_txn;
     const double surplus = std::max(0.0, dirty_rate - flush_capacity);
     stall_ms = surplus / std::max(1.0, throughput) * tuning_.fg_flush_ms *
-               wal.write_amplification;
+               wal_write_amp;
     if (bursting) stall_ms += 0.05;  // burst flushing competes with reads
-    // Letting the pool run very dirty defers work into checkpoint storms.
-    if (max_dirty_pct > 90.0) stall_ms += 0.02 * (max_dirty_pct - 90.0);
-    // Deep LRU scans burn cleaner CPU whether or not pages need flushing.
-    stall_ms += 0.00002 * lru_scan_depth;
+    if (max_dirty_pct > 90.0) stall_ms += dirty_storm_ms;
+    stall_ms += lru_scan_cpu_ms;
 
     const double service_ms = cpu_ms + io_wait_ms + wal.commit_cost_ms +
                               wal.log_wait_ms + wal.checkpoint_stall_ms +
@@ -342,11 +371,6 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
     // Only the threads admitted into the engine make progress; excess
     // clients queue outside (their wait shows up in latency, not rate).
     const double x_threads = n_exec / service_ms * 1000.0;
-    const double x_cpu =
-        instance_.cpu_cores * 1000.0 / cpu_ms / latch_eff;
-    const double device_ops_per_txn =
-        misses_per_txn +
-        dirty_pages_per_txn * wal.write_amplification * 0.5;
     // Over-provisioned background flushing steals read bandwidth: the
     // cleaner scans and rewrites pages it did not need to, so io_capacity
     // has a ridge (too low stalls writers, too high starves readers).
@@ -358,18 +382,17 @@ PerfResult SimulatedEngine::Run(const Configuration& config,
     const double x_io =
         read_iops_available / std::max(0.01, device_ops_per_txn);
     const double x_log = 1000.0 / std::max(0.004, wal.commit_cost_ms);
-    // Sustained dirtying cannot outrun total cleaning capacity (background
-    // cleaners plus the foreground share of the write device).
-    const double fg_flush_capacity =
-        instance_.disk_write_iops * 0.3 / wal.write_amplification;
-    const double x_dirty =
-        dirty_pages_per_txn > 0.01
-            ? (flush_capacity + fg_flush_capacity) / dirty_pages_per_txn
-            : std::numeric_limits<double>::infinity();
     const double x_new = std::min(
         std::min(std::min(x_threads, x_cpu), std::min(x_io, x_log)), x_dirty);
     const double next = 0.5 * throughput + 0.5 * x_new;
-    const bool converged = std::abs(next - throughput) < 0.002 * throughput;
+    // Exit as soon as the iterate is *bit-exactly* stationary: if next ==
+    // throughput, every further iteration recomputes the identical values,
+    // so stopping cannot change the result. The historical relative
+    // tolerance is kept verbatim alongside it — a stationary positive
+    // iterate always satisfies it, so the disjunction changes no exit
+    // decision, it only names the exact case explicitly.
+    const bool converged = next == throughput ||
+                           std::abs(next - throughput) < 0.002 * throughput;
     throughput = next;
     if (converged) break;
   }

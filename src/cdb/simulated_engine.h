@@ -20,8 +20,10 @@
 #include <array>
 #include <vector>
 
+#include "cdb/buffer_pool.h"
 #include "cdb/instance_type.h"
 #include "cdb/knob.h"
+#include "cdb/lock_manager.h"
 #include "cdb/metric_catalog.h"
 #include "cdb/workload_profile.h"
 #include "common/rng.h"
@@ -73,6 +75,11 @@ class SimulatedEngine {
   void set_instance(const InstanceType& instance) { instance_ = instance; }
   const KnobCatalog& catalog() const { return *catalog_; }
 
+  // Buffer-pool reuse accounting: how many times Run re-armed the pool, and
+  // how many of those reused the existing slabs without reallocating.
+  uint64_t pool_resets() const { return pool_.resets(); }
+  uint64_t pool_slab_reuses() const { return pool_.slab_reuses(); }
+
  private:
   // Hash-derived response constants of one generic minor knob, computed
   // once at construction instead of re-hashing the knob name on every Run
@@ -88,6 +95,12 @@ class SimulatedEngine {
   double KnobValue(const Configuration& config, KnobRole role,
                    double fallback) const;
 
+  // Replays the precomputed access stream through pool_: warmup accesses,
+  // counter reset, then the measured window with periodic background
+  // flushing. Factored out of Run so the hottest loop in the engine is a
+  // single annotated function over flat arrays.
+  void ReplayAccessStream(int warmup, double io_capacity) const;
+
   const KnobCatalog* catalog_;  // not owned
   InstanceType instance_;
   EngineTuning tuning_;
@@ -100,6 +113,20 @@ class SimulatedEngine {
   // the steady state allocation-free.
   mutable std::vector<uint64_t> access_pages_;
   mutable std::vector<uint8_t> access_is_write_;
+  // One pool per engine, re-armed via Reset(capacity) at the top of every
+  // Run instead of being reconstructed — the slabs survive across
+  // evaluations (pool_.slab_reuses() counts the hits).
+  mutable BufferPool pool_{1};
+  // Per-purpose Zipf samplers. The page draws (data_pages, zipf_theta) and
+  // the lock-row draws (hot_rows, lock_zipf_theta) alternate within every
+  // Run; a single shared constants cache (the Rng's) would recompute both
+  // zeta sums on every evaluation, so each stream keeps its own warm table.
+  mutable common::ZipfTable access_zipf_;
+  mutable common::ZipfTable lock_zipf_;
+  // Scratch lock table handed to LockManager::Simulate so the row-entry
+  // slab survives across evaluations too (reset, never reallocated, in
+  // steady state).
+  mutable LockManager::Table lock_table_;
 };
 
 }  // namespace hunter::cdb

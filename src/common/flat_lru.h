@@ -1,0 +1,364 @@
+// Intrusive array-backed LRU list with an open-addressing key index.
+//
+// Replaces the `std::list<uint64_t>` + `std::unordered_map` pair the buffer
+// pool was built on: slots live in a fixed slab sized to the capacity, the
+// recency list is threaded through prev/next uint32 index arrays (no node
+// allocation, no pointer chasing across the heap), and key -> slot lookup
+// goes through FlatHashMap64. A full Access (lookup + splice to front) is a
+// handful of contiguous array reads.
+//
+// Capacities of at most kScanSlots skip the hash index altogether: the key
+// slab fits in one or two cache lines' worth of vector compares, so lookup
+// is a branchless linear scan over keys + live bytes. This is the common
+// case for the engine's default buffer pools (tens of pages), where a miss
+// previously paid three probe sequences (find, erase victim with backward
+// shift, re-probe to insert) per eviction. Which mode is active is not
+// observable: Find/Insert/Evict semantics are identical in both.
+//
+// `Reset(capacity)` reinitializes the structure for a new run, reusing the
+// slabs whenever they are already big enough — the engine keeps one pool
+// alive across evaluations, so steady-state resets allocate nothing.
+//
+// Slots are identified by uint32 indices; `kNil` is the null link. The
+// caller owns any per-slot payload (e.g. the pool's dirty bits) in parallel
+// arrays indexed by slot.
+
+#ifndef HUNTER_COMMON_FLAT_LRU_H_
+#define HUNTER_COMMON_FLAT_LRU_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "common/flat_hash.h"
+
+namespace hunter::common {
+
+namespace internal {
+
+// Scalar scan-mode lookup: the unique live slot holding `key`, or not-found.
+// Free slots keep their stale key until reuse, so the live byte is part of
+// the match condition (a stale duplicate of `key` must not count).
+inline uint32_t ScanFindScalar(const uint64_t* keys, const uint8_t* live,
+                               uint32_t cap, uint64_t key) {
+  uint32_t found = 0xFFFFFFFFu;
+  for (uint32_t j = 0; j < cap; ++j) {
+    found = (keys[j] == key && live[j] != 0) ? j : found;
+  }
+  return found;
+}
+
+// Dense variant: every slot in [0, count) is live (no free slots below the
+// fill line, no stale keys), so the match condition is the key compare
+// alone. This is the steady state of an LRU that replaces its victim in
+// place (ReplaceBack) instead of evicting then re-inserting.
+inline uint32_t ScanFindDenseScalar(const uint64_t* keys, uint32_t count,
+                                    uint64_t key) {
+  uint32_t found = 0xFFFFFFFFu;
+  for (uint32_t j = 0; j < count; ++j) {
+    found = keys[j] == key ? j : found;
+  }
+  return found;
+}
+
+#if defined(__x86_64__)
+// AVX2 lane: four 64-bit key compares per step, accumulated branch-free
+// into a per-chunk match bitmask (a data-dependent branch every four slots
+// mispredicts constantly on random access streams). Live bytes are checked
+// only on the rare raw key matches. Compiled with AVX2 enabled regardless
+// of the build's baseline flags; only called when the CPU reports support.
+__attribute__((target("avx2"))) inline uint32_t ScanFindAvx2(
+    const uint64_t* keys, const uint8_t* live, uint32_t cap, uint64_t key) {
+  const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(key));
+  uint32_t base = 0;
+  while (base < cap) {
+    const uint32_t chunk = cap - base < 64 ? cap - base : 64;
+    uint64_t matches = 0;
+    uint32_t j = 0;
+    for (; j + 4 <= chunk; j += 4) {
+      const __m256i lane = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys + base + j));
+      const int mask = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(lane, needle)));
+      matches |= static_cast<uint64_t>(static_cast<uint32_t>(mask)) << j;
+    }
+    for (; j < chunk; ++j) {
+      if (keys[base + j] == key) matches |= uint64_t{1} << j;
+    }
+    while (matches != 0) {
+      const uint32_t b =
+          static_cast<uint32_t>(__builtin_ctzll(matches));
+      if (live[base + b] != 0) return base + b;
+      matches &= matches - 1;
+    }
+    base += chunk;
+  }
+  return 0xFFFFFFFFu;
+}
+
+// Dense AVX2 lane: key compares only, no live bytes (see
+// ScanFindDenseScalar for the invariant that makes this sufficient).
+// Misses dominate an LRU smaller than its working set, so the hot pass is
+// a pure in-vector OR-reduction ("is the key anywhere?") with no
+// per-chunk vector->scalar crossings; the position is recovered by a
+// second positional scan only when a match exists (at most one can).
+__attribute__((target("avx2"))) inline uint32_t ScanFindDenseAvx2(
+    const uint64_t* keys, uint32_t count, uint64_t key) {
+  const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(key));
+  __m256i any = _mm256_setzero_si256();
+  uint32_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m256i eq_lo = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + j)),
+        needle);
+    const __m256i eq_hi = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + j + 4)),
+        needle);
+    any = _mm256_or_si256(any, _mm256_or_si256(eq_lo, eq_hi));
+  }
+  for (; j < count; ++j) {
+    if (keys[j] == key) return j;
+  }
+  if (_mm256_testz_si256(any, any) != 0) return 0xFFFFFFFFu;
+  for (j = 0; j + 4 <= count; j += 4) {
+    const __m256i eq = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + j)),
+        needle);
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (mask != 0) {
+      return j + static_cast<uint32_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  return 0xFFFFFFFFu;
+}
+
+inline uint32_t ScanFind(const uint64_t* keys, const uint8_t* live,
+                         uint32_t cap, uint64_t key) {
+  static const bool kAvx2 = __builtin_cpu_supports("avx2") != 0;
+  return kAvx2 ? ScanFindAvx2(keys, live, cap, key)
+               : ScanFindScalar(keys, live, cap, key);
+}
+
+inline uint32_t ScanFindDense(const uint64_t* keys, uint32_t count,
+                              uint64_t key) {
+  static const bool kAvx2 = __builtin_cpu_supports("avx2") != 0;
+  return kAvx2 ? ScanFindDenseAvx2(keys, count, key)
+               : ScanFindDenseScalar(keys, count, key);
+}
+#else
+inline uint32_t ScanFind(const uint64_t* keys, const uint8_t* live,
+                         uint32_t cap, uint64_t key) {
+  return ScanFindScalar(keys, live, cap, key);
+}
+
+inline uint32_t ScanFindDense(const uint64_t* keys, uint32_t count,
+                              uint64_t key) {
+  return ScanFindDenseScalar(keys, count, key);
+}
+#endif
+
+}  // namespace internal
+
+class FlatLru {
+ public:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+  // Largest capacity served by the linear-scan index (1 KiB of keys).
+  static constexpr uint32_t kScanSlots = 128;
+
+  explicit FlatLru(uint64_t capacity = 1) { Reset(capacity); }
+
+  // Empties the list and re-sizes the slab for `capacity` slots. Returns
+  // true when the existing slabs were reused without reallocation.
+  bool Reset(uint64_t capacity) {
+    const uint32_t cap = static_cast<uint32_t>(
+        std::min<uint64_t>(std::max<uint64_t>(1, capacity), kNil - 1));
+    capacity_ = cap;
+    scan_ = cap <= kScanSlots;
+    bool reused = true;
+    if (!scan_) reused = index_.Reset(cap);
+    if (keys_.size() < cap) {
+      keys_.resize(cap);
+      prev_.resize(cap);
+      next_.resize(cap);
+      live_.resize(cap);
+      reused = false;
+    }
+    if (scan_) std::fill(live_.begin(), live_.begin() + cap, uint8_t{0});
+    dense_ = true;
+    // Free list threaded through next_.
+    for (uint32_t i = 0; i < cap; ++i) next_[i] = i + 1;
+    next_[cap - 1] = kNil;
+    free_head_ = 0;
+    head_ = kNil;
+    tail_ = kNil;
+    size_ = 0;
+    return reused;
+  }
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t size() const { return size_; }
+
+  // Slot holding `key`, or kNil if absent.
+  uint32_t Find(uint64_t key) const {
+    if (scan_) {
+      // Live keys are unique, so the scan's unique match (or kNil) is the
+      // same answer the hash index would give. While the slab is dense —
+      // slots are handed out in order and only ever replaced in place —
+      // every slot below the fill line is live and holds a distinct key,
+      // so the scan needs neither the live bytes nor the empty tail.
+      if (dense_) {
+        return internal::ScanFindDense(keys_.data(),
+                                       static_cast<uint32_t>(size_), key);
+      }
+      return internal::ScanFind(keys_.data(), live_.data(), capacity_, key);
+    }
+    const uint32_t* slot = index_.Find(key);
+    return slot == nullptr ? kNil : *slot;
+  }
+
+  uint64_t key(uint32_t slot) const { return keys_[slot]; }
+  uint32_t front() const { return head_; }
+  uint32_t back() const { return tail_; }
+  // Next-warmer slot (toward the front/MRU end); kNil past the front.
+  uint32_t Warmer(uint32_t slot) const { return prev_[slot]; }
+  // Next-colder slot (toward the back/LRU end); kNil past the back.
+  uint32_t Colder(uint32_t slot) const { return next_[slot]; }
+
+  // Splices an existing slot to the front (most-recently-used position).
+  void MoveToFront(uint32_t slot) {
+    if (head_ == slot) return;
+    // Unlink.
+    const uint32_t p = prev_[slot];
+    const uint32_t n = next_[slot];
+    next_[p] = n;  // p != kNil because slot != head_
+    if (n != kNil) {
+      prev_[n] = p;
+    } else {
+      tail_ = p;
+    }
+    // Relink at the front.
+    prev_[slot] = kNil;
+    next_[slot] = head_;
+    prev_[head_] = slot;  // head_ != kNil because the list is non-empty
+    head_ = slot;
+  }
+
+  // Inserts an absent key at the front; returns its slot. The caller must
+  // guarantee the key is absent and the list is not full.
+  uint32_t InsertFront(uint64_t key_value) {
+    const uint32_t slot = PopFree();
+    keys_[slot] = key_value;
+    prev_[slot] = kNil;
+    next_[slot] = head_;
+    if (head_ != kNil) {
+      prev_[head_] = slot;
+    } else {
+      tail_ = slot;
+    }
+    head_ = slot;
+    live_[slot] = 1;
+    if (!scan_) index_.At(key_value) = slot;
+    ++size_;
+    return slot;
+  }
+
+  // Inserts an absent key at the back (coldest position); returns its slot.
+  uint32_t InsertBack(uint64_t key_value) {
+    const uint32_t slot = PopFree();
+    keys_[slot] = key_value;
+    next_[slot] = kNil;
+    prev_[slot] = tail_;
+    if (tail_ != kNil) {
+      next_[tail_] = slot;
+    } else {
+      head_ = slot;
+    }
+    tail_ = slot;
+    live_[slot] = 1;
+    if (!scan_) index_.At(key_value) = slot;
+    ++size_;
+    return slot;
+  }
+
+  // Removes the back (least-recently-used) entry. The list must be
+  // non-empty. Returns the freed slot (its key is still readable until the
+  // next insert).
+  uint32_t EvictBack() {
+    const uint32_t slot = tail_;
+    tail_ = prev_[slot];
+    if (tail_ != kNil) {
+      next_[tail_] = kNil;
+    } else {
+      head_ = kNil;
+    }
+    live_[slot] = 0;
+    if (!scan_) index_.Erase(keys_[slot]);
+    PushFree(slot);
+    --size_;
+    // A freed slot below the fill line breaks the dense invariant until the
+    // next Reset.
+    dense_ = false;
+    return slot;
+  }
+
+  // Evicts the back entry and installs `key_value` at the front in its
+  // slot, in one step — equivalent to EvictBack() followed by
+  // InsertFront(key_value), minus the free-list round trip and the second
+  // linking pass. The list must be non-empty and `key_value` absent.
+  // Returns the reused slot (the victim's key is gone from the slab, which
+  // is what keeps the dense-scan invariant intact).
+  uint32_t ReplaceBack(uint64_t key_value) {
+    const uint32_t slot = tail_;
+    if (!scan_) {
+      index_.Erase(keys_[slot]);
+      index_.At(key_value) = slot;
+    }
+    keys_[slot] = key_value;
+    if (head_ != slot) {
+      // Unlink from the back, relink at the front.
+      tail_ = prev_[slot];
+      next_[tail_] = kNil;
+      prev_[slot] = kNil;
+      next_[slot] = head_;
+      prev_[head_] = slot;
+      head_ = slot;
+    }
+    return slot;
+  }
+
+ private:
+  uint32_t PopFree() {
+    const uint32_t slot = free_head_;
+    free_head_ = next_[slot];
+    return slot;
+  }
+  void PushFree(uint32_t slot) {
+    next_[slot] = free_head_;
+    free_head_ = slot;
+  }
+
+  FlatHashMap64<uint32_t> index_;  // key -> slot; reserved so it never grows
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> prev_;  // toward the front (warmer)
+  std::vector<uint32_t> next_;  // toward the back (colder); free list links
+  std::vector<uint8_t> live_;   // per-slot occupancy, the scan-mode index
+  bool scan_ = true;
+  // True while slots [0, size_) are exactly the live slots (no EvictBack
+  // since the last Reset); enables the key-only dense scan.
+  bool dense_ = true;
+  uint32_t capacity_ = 0;
+  uint32_t head_ = kNil;
+  uint32_t tail_ = kNil;
+  uint32_t free_head_ = kNil;
+  uint64_t size_ = 0;
+};
+
+}  // namespace hunter::common
+
+#endif  // HUNTER_COMMON_FLAT_LRU_H_

@@ -72,40 +72,43 @@ double Rng::Gaussian(double mean, double stddev) {
 
 bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
+ZipfParams ZipfParams::Compute(uint64_t n, double theta) {
+  ZipfParams params;
+  params.n = n;
+  params.theta = theta;
+  // Exact zeta for small n; integral-tail approximation for large n
+  // (row populations reach tens of millions — an exact sum per (n, theta)
+  // change would dominate the whole simulation).
+  constexpr uint64_t kExactTerms = 16384;
+  double zetan = 0.0;
+  const uint64_t exact = std::min(n, kExactTerms);
+  for (uint64_t i = 1; i <= exact; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact && theta != 1.0) {
+    const double a = static_cast<double>(exact);
+    const double b = static_cast<double>(n);
+    zetan += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+             (1.0 - theta);
+  }
+  params.zetan = zetan;
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+  params.alpha = 1.0 / (1.0 - theta);
+  params.eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+               (1.0 - zeta2 / zetan);
+  // Formerly re-evaluated on every draw inside the rank-1 check; the value
+  // depends only on theta, so it is a cached constant like the others.
+  params.pow_half_theta = std::pow(0.5, theta);
+  return params;
+}
+
+// hunterlint: hot
 uint64_t Rng::Zipf(uint64_t n, double theta) {
   if (n <= 1 || theta <= 0.0) return n == 0 ? 0 : NextU64() % n;
-  if (n != zipf_n_ || theta != zipf_theta_) {
-    zipf_n_ = n;
-    zipf_theta_ = theta;
-    // Exact zeta for small n; integral-tail approximation for large n
-    // (row populations reach tens of millions — an exact sum per (n, theta)
-    // change would dominate the whole simulation).
-    constexpr uint64_t kExactTerms = 16384;
-    double zetan = 0.0;
-    const uint64_t exact = std::min(n, kExactTerms);
-    for (uint64_t i = 1; i <= exact; ++i) {
-      zetan += 1.0 / std::pow(static_cast<double>(i), theta);
-    }
-    if (n > exact && theta != 1.0) {
-      const double a = static_cast<double>(exact);
-      const double b = static_cast<double>(n);
-      zetan += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
-               (1.0 - theta);
-    }
-    zipf_zetan_ = zetan;
-    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
-    zipf_alpha_ = 1.0 / (1.0 - theta);
-    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
-                (1.0 - zeta2 / zetan);
+  if (n != zipf_.n || theta != zipf_.theta) {
+    zipf_ = ZipfParams::Compute(n, theta);
   }
-  const double u = Uniform();
-  const double uz = u * zipf_zetan_;
-  if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
-  const double rank = static_cast<double>(zipf_n_) *
-                      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_);
-  uint64_t result = static_cast<uint64_t>(rank);
-  return result >= zipf_n_ ? zipf_n_ - 1 : result;
+  return zipf_.Rank(Uniform());
 }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {

@@ -10,12 +10,42 @@
 
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace hunter::common {
+
+// Cached per-(n, theta) constants of the Gray-style Zipf approximation,
+// including every per-draw transcendental that does not depend on the
+// uniform variate (`pow_half_theta` = pow(0.5, theta), formerly recomputed
+// on every draw). `Compute` evaluates the exact same expressions the
+// original per-draw code used, and `Rank` maps a uniform u in [0, 1) to a
+// rank with the identical floating-point expression order — so for any
+// fixed (n, theta) the u -> rank mapping is bit-identical to the original.
+struct ZipfParams {
+  uint64_t n = 0;
+  double theta = -1.0;
+  double zetan = 0.0;
+  double alpha = 0.0;
+  double eta = 0.0;
+  double pow_half_theta = 0.0;
+
+  // Requires n > 1 and theta > 0 (callers handle the degenerate cases).
+  static ZipfParams Compute(uint64_t n, double theta);
+
+  uint64_t Rank(double u) const {
+    const double uz = u * zetan;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + pow_half_theta) return 1;
+    const double rank =
+        static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha);
+    uint64_t result = static_cast<uint64_t>(rank);
+    return result >= n ? n - 1 : result;
+  }
+};
 
 // A small, fast, seedable PRNG (xoshiro256**) with the distribution helpers
 // this project needs. Copyable so components can fork deterministic
@@ -89,11 +119,75 @@ class Rng {
   double cached_gaussian_ = 0.0;
 
   // Cached Zipf constants (recomputed when (n, theta) changes).
-  uint64_t zipf_n_ = 0;
-  double zipf_theta_ = -1.0;
-  double zipf_zetan_ = 0.0;
-  double zipf_alpha_ = 0.0;
-  double zipf_eta_ = 0.0;
+  ZipfParams zipf_;
+};
+
+// A Zipf sampler with its constants bound up front, for batch draws where
+// the caller knows (n, theta) ahead of time — e.g. the simulated engine's
+// access-stream generation and lock-table replay. `Sample` consumes exactly
+// one generator advance and produces the same value `Rng::Zipf(n, theta)`
+// would have at the same stream position (the degenerate modulo path
+// included), so switching a call site to a ZipfTable never changes a draw
+// sequence. `Rebind` recomputes the constants only when (n, theta) actually
+// changed, which lets two alternating distributions (page draws vs row
+// draws) each keep a warm table instead of thrashing one shared cache; a
+// small memo of previously computed parameter sets additionally makes
+// re-binding between a handful of recurring distributions (e.g. a tuner
+// alternating two workloads through one engine) free after the first
+// evaluation of each. Memoization is unobservable: a hit returns the exact
+// ZipfParams that `Compute` produced for that (n, theta) the first time.
+class ZipfTable {
+ public:
+  ZipfTable() = default;
+  ZipfTable(uint64_t n, double theta) { Rebind(n, theta); }
+
+  void Rebind(uint64_t n, double theta) {
+    if (bound_ && n == n_ && theta == theta_) return;
+    bound_ = true;
+    n_ = n;
+    theta_ = theta;
+    degenerate_ = n <= 1 || theta <= 0.0;
+    if (degenerate_) return;
+    for (const ZipfParams& m : memo_) {
+      if (m.n == n && m.theta == theta) {
+        params_ = m;
+        return;
+      }
+    }
+    params_ = ZipfParams::Compute(n, theta);
+    if (memo_.size() < kMemoEntries) {
+      memo_.push_back(params_);
+    } else {
+      // Round-robin replacement: the memo exists for a few recurring
+      // bindings, so any victim policy beyond "not the newest" is moot.
+      memo_[memo_next_] = params_;
+      memo_next_ = (memo_next_ + 1) % kMemoEntries;
+    }
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  uint64_t Sample(Rng* rng) const {
+    if (degenerate_) return n_ == 0 ? 0 : rng->NextU64() % n_;
+    return params_.Rank(rng->Uniform());
+  }
+
+  // Draws `count` consecutive samples into `out` (resized by the caller).
+  void Fill(Rng* rng, uint64_t* out, size_t count) const {
+    for (size_t i = 0; i < count; ++i) out[i] = Sample(rng);
+  }
+
+ private:
+  static constexpr size_t kMemoEntries = 8;
+
+  uint64_t n_ = 0;
+  double theta_ = -1.0;
+  bool bound_ = false;
+  bool degenerate_ = true;
+  ZipfParams params_;
+  std::vector<ZipfParams> memo_;
+  size_t memo_next_ = 0;
 };
 
 }  // namespace hunter::common

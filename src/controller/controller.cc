@@ -81,7 +81,12 @@ Controller::Controller(std::unique_ptr<cdb::CdbInstance> user_instance,
       metrics_registry_.RegisterCounter("engine.eval_cache_hits");
   eval_cache_misses_counter_ =
       metrics_registry_.RegisterCounter("engine.eval_cache_misses");
+  pool_resets_counter_ =
+      metrics_registry_.RegisterCounter("engine.pool_resets");
+  pool_slab_reuses_counter_ =
+      metrics_registry_.RegisterCounter("engine.pool_slab_reuses");
   lane_cache_seen_.resize(actors_.size());
+  lane_pool_seen_.resize(actors_.size());
 }
 
 const cdb::PerformanceSummary& Controller::DefaultPerformance() {
@@ -116,6 +121,7 @@ void Controller::ReplaceActor(size_t lane) {
   actors_[lane] = std::make_unique<Actor>(
       user_instance_->Clone(), options_.alpha, next_clone_id_++, injector);
   lane_cache_seen_[lane] = {};  // fresh clone, fresh cache stats
+  lane_pool_seen_[lane] = {};
   ++fault_stats_.reclones;
   reclones_counter_->Increment();
 }
@@ -134,6 +140,19 @@ void Controller::HarvestEvalCacheStats() {
           static_cast<double>(now.misses - seen.misses));
     }
     seen = now;
+
+    const cdb::CdbInstance::PoolStats& pool_now =
+        actors_[l]->instance().pool_stats();
+    cdb::CdbInstance::PoolStats& pool_seen = lane_pool_seen_[l];
+    if (pool_now.resets > pool_seen.resets) {
+      pool_resets_counter_->Increment(
+          static_cast<double>(pool_now.resets - pool_seen.resets));
+    }
+    if (pool_now.slab_reuses > pool_seen.slab_reuses) {
+      pool_slab_reuses_counter_->Increment(
+          static_cast<double>(pool_now.slab_reuses - pool_seen.slab_reuses));
+    }
+    pool_seen = pool_now;
   }
 }
 

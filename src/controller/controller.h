@@ -192,9 +192,12 @@ class Controller {
   obs::Histogram* clone_utilization_hist_ = nullptr;
   obs::Counter* eval_cache_hits_counter_ = nullptr;
   obs::Counter* eval_cache_misses_counter_ = nullptr;
+  obs::Counter* pool_resets_counter_ = nullptr;
+  obs::Counter* pool_slab_reuses_counter_ = nullptr;
   // Per-lane stats already swept into the counters (delta tracking; an
   // entry resets when its lane's actor is replaced).
   std::vector<cdb::CdbInstance::EvalCacheStats> lane_cache_seen_;
+  std::vector<cdb::CdbInstance::PoolStats> lane_pool_seen_;
 };
 
 }  // namespace hunter::controller

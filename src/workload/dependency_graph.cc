@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "common/flat_hash.h"
 
 namespace hunter::workload {
 
@@ -14,20 +14,20 @@ std::vector<TracedTransaction> GenerateTrace(size_t num_txns,
                                              double writes_per_txn,
                                              common::Rng* rng) {
   std::vector<TracedTransaction> trace(num_txns);
+  // One bound sampler for the whole trace: the constants are computed once
+  // instead of being revalidated on every row draw. The draw sequence is
+  // identical to the rng->Zipf(row_space, zipf_theta) calls it replaces.
+  const common::ZipfTable rows(row_space, zipf_theta);
   for (size_t i = 0; i < num_txns; ++i) {
     trace[i].id = i;
     const int reads = static_cast<int>(std::max(
         0.0, std::round(reads_per_txn + rng->Gaussian(0.0, 1.0))));
     const int writes = static_cast<int>(std::max(
         0.0, std::round(writes_per_txn + rng->Gaussian(0.0, 0.7))));
-    trace[i].read_set.reserve(static_cast<size_t>(reads));
-    for (int r = 0; r < reads; ++r) {
-      trace[i].read_set.push_back(rng->Zipf(row_space, zipf_theta));
-    }
-    trace[i].write_set.reserve(static_cast<size_t>(writes));
-    for (int w = 0; w < writes; ++w) {
-      trace[i].write_set.push_back(rng->Zipf(row_space, zipf_theta));
-    }
+    trace[i].read_set.resize(static_cast<size_t>(reads));
+    rows.Fill(rng, trace[i].read_set.data(), trace[i].read_set.size());
+    trace[i].write_set.resize(static_cast<size_t>(writes));
+    rows.Fill(rng, trace[i].write_set.data(), trace[i].write_set.size());
   }
   return trace;
 }
@@ -40,41 +40,48 @@ TxnDependencyGraph::TxnDependencyGraph(
 
   // last_writer[row] = most recent transaction that wrote `row`;
   // readers_since[row] = transactions that read it after that write.
-  std::unordered_map<uint64_t, uint32_t> last_writer;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> readers_since;
+  // Flat open-addressing maps: edge emission order depends only on point
+  // lookups in trace order (no map iteration), so swapping the container
+  // leaves the emitted edge list byte-identical — pinned by the golden
+  // test against a std::map reference in tests/workload/workload_test.cc.
+  common::FlatHashMap64<uint32_t> last_writer(n);
+  common::FlatHashMap64<std::vector<uint32_t>> readers_since(n);
 
-  auto add_edge = [&](uint32_t from, uint32_t to,
-                      std::unordered_set<uint32_t>* seen) {
+  // Parent dedupe via a monotone stamp (value i+1 marks "already a parent
+  // of transaction i") instead of a per-transaction hash set.
+  std::vector<uint32_t> parent_stamp(n, 0);
+
+  auto add_edge = [&](uint32_t from, uint32_t to) {
     if (from == to) return;
-    if (!seen->insert(from).second) return;  // dedupe parents of `to`
+    if (parent_stamp[from] == to + 1) return;  // dedupe parents of `to`
+    parent_stamp[from] = to + 1;
     children_[from].push_back(to);
     ++parents_count_[to];
     ++num_edges_;
   };
 
   for (uint32_t i = 0; i < n; ++i) {
-    std::unordered_set<uint32_t> parents;
     // WR / WW conflicts: depend on the last writer of every touched row.
     for (uint64_t row : trace[i].read_set) {
-      auto writer = last_writer.find(row);
-      if (writer != last_writer.end()) add_edge(writer->second, i, &parents);
+      const uint32_t* writer = last_writer.Find(row);
+      if (writer != nullptr) add_edge(*writer, i);
     }
     for (uint64_t row : trace[i].write_set) {
-      auto writer = last_writer.find(row);
-      if (writer != last_writer.end()) add_edge(writer->second, i, &parents);
+      const uint32_t* writer = last_writer.Find(row);
+      if (writer != nullptr) add_edge(*writer, i);
       // RW anti-dependencies: readers since the last write must precede us.
-      auto readers = readers_since.find(row);
-      if (readers != readers_since.end()) {
-        for (uint32_t reader : readers->second) add_edge(reader, i, &parents);
+      const std::vector<uint32_t>* readers = readers_since.Find(row);
+      if (readers != nullptr) {
+        for (uint32_t reader : *readers) add_edge(reader, i);
       }
     }
     // Register this transaction's accesses.
     for (uint64_t row : trace[i].write_set) {
-      last_writer[row] = i;
-      readers_since[row].clear();
+      last_writer.At(row) = i;
+      readers_since.At(row).clear();
     }
     for (uint64_t row : trace[i].read_set) {
-      readers_since[row].push_back(i);
+      readers_since.At(row).push_back(i);
     }
   }
 }

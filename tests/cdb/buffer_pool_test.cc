@@ -1,8 +1,13 @@
 #include "cdb/buffer_pool.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "tests/cdb/seed_engine_ref.h"
 
 namespace hunter::cdb {
 namespace {
@@ -106,6 +111,104 @@ TEST(BufferPoolTest, ZeroCapacityClampedToOne) {
   EXPECT_EQ(pool.capacity(), 1u);
   pool.Access(1, false);
   EXPECT_EQ(pool.resident_pages(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence against the seed std::list + std::unordered_map pool
+// (tests/cdb/seed_engine_ref.h). The flat intrusive LRU must reproduce the
+// seed's hit/miss booleans and counter trajectories exactly, access by
+// access, under adversarial streams.
+// ---------------------------------------------------------------------------
+
+// Drives both pools through the same access/flush stream, asserting the
+// per-access hit/miss boolean and all observable counters after every step.
+void ReplayAndCompare(BufferPool* pool, seedref::SeedBufferPool* seed,
+                      common::Rng* rng, uint64_t page_space, double dirty_prob,
+                      int steps, uint64_t flush_every, uint64_t flush_budget,
+                      const std::string& context) {
+  for (int i = 0; i < steps; ++i) {
+    const uint64_t page = rng->Zipf(page_space, 0.9);
+    const bool dirty = rng->Bernoulli(dirty_prob);
+    const bool want = seed->Access(page, dirty);
+    const bool got = pool->Access(page, dirty);
+    ASSERT_EQ(want, got) << context << " step " << i;
+    if (flush_every > 0 && static_cast<uint64_t>(i) % flush_every == 0) {
+      ASSERT_EQ(seed->FlushDirty(flush_budget), pool->FlushDirty(flush_budget))
+          << context << " flush at step " << i;
+    }
+    ASSERT_EQ(seed->hits(), pool->hits()) << context << " step " << i;
+    ASSERT_EQ(seed->misses(), pool->misses()) << context << " step " << i;
+    ASSERT_EQ(seed->dirty_pages(), pool->dirty_pages())
+        << context << " step " << i;
+    ASSERT_EQ(seed->dirty_evictions(), pool->dirty_evictions())
+        << context << " step " << i;
+    ASSERT_EQ(seed->resident_pages(), pool->resident_pages())
+        << context << " step " << i;
+  }
+  EXPECT_DOUBLE_EQ(seed->HitRatio(), pool->HitRatio()) << context;
+  EXPECT_DOUBLE_EQ(seed->DirtyFraction(), pool->DirtyFraction()) << context;
+}
+
+TEST(BufferPoolEquivalenceTest, AdversarialStreamsMatchSeedExactly) {
+  struct Scenario {
+    const char* name;
+    uint64_t capacity;
+    uint64_t page_space;
+    double dirty_prob;
+    uint64_t flush_every;
+    uint64_t flush_budget;
+    uint64_t prewarm;
+  };
+  const Scenario scenarios[] = {
+      // Thrashing single slot: every distinct page evicts.
+      {"capacity one", 1, 64, 0.5, 0, 0, 0},
+      // Pool larger than the page space: no evictions ever.
+      {"oversized pool", 4096, 256, 0.3, 0, 0, 0},
+      // The engine's shape: prewarmed pool, periodic budgeted flushing.
+      {"prewarmed with flushing", 512, 2048, 0.4, 256, 8, 512},
+      // Tight pool with aggressive flush interleaving.
+      {"flush every step", 16, 128, 0.9, 1, 2, 16},
+      // Prewarm beyond capacity (clamped inside Prewarm).
+      {"prewarm overflow", 32, 1024, 0.2, 64, 4, 1000},
+  };
+  for (const Scenario& s : scenarios) {
+    BufferPool pool(s.capacity);
+    seedref::SeedBufferPool seed(s.capacity);
+    if (s.prewarm > 0) {
+      pool.Prewarm(s.prewarm);
+      seed.Prewarm(s.prewarm);
+    }
+    common::Rng rng(1234);
+    ReplayAndCompare(&pool, &seed, &rng, s.page_space, s.dirty_prob, 4000,
+                     s.flush_every, s.flush_budget, s.name);
+  }
+}
+
+TEST(BufferPoolEquivalenceTest, ResetReplaysLikeAFreshSeedPool) {
+  // One pool driven through Reset cycles of varying capacities must behave
+  // like a factory-fresh seed pool of each capacity — reused slabs carry no
+  // observable state across cycles.
+  BufferPool pool(2048);  // sizes the slabs once, up front
+  const uint64_t capacities[] = {2048, 64, 1, 512, 64};
+  const uint64_t reuses_before = pool.slab_reuses();
+  uint64_t expected_resets = pool.resets();
+  for (const uint64_t capacity : capacities) {
+    pool.Reset(capacity);
+    ++expected_resets;
+    EXPECT_EQ(pool.resets(), expected_resets);
+    EXPECT_EQ(pool.capacity(), capacity);
+    EXPECT_EQ(pool.resident_pages(), 0u);
+    EXPECT_EQ(pool.hits(), 0u);
+    EXPECT_EQ(pool.misses(), 0u);
+    EXPECT_EQ(pool.dirty_pages(), 0u);
+    seedref::SeedBufferPool seed(capacity);
+    common::Rng rng(42 + capacity);
+    ReplayAndCompare(&pool, &seed, &rng, 4 * capacity, 0.5, 3000, 128, 4,
+                     "reset to " + std::to_string(capacity));
+  }
+  // Every re-arm fits inside the original 2048-page slabs.
+  EXPECT_EQ(pool.slab_reuses() - reuses_before,
+            sizeof(capacities) / sizeof(capacities[0]));
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -218,6 +219,65 @@ TEST(DependencyGraphTest, EdgesOnlyPointForward) {
     for (uint32_t child : graph.children(parent)) {
       EXPECT_GT(child, parent);  // acyclic by construction
     }
+  }
+}
+
+// Reference edge builder: the construction algorithm as originally written
+// (associative maps for last_writer/readers_since, a per-transaction seen
+// set for parent dedupe). Edge emission order depends only on point lookups
+// in trace order — never on container iteration — so the flat-container
+// graph must reproduce this edge list byte for byte.
+std::vector<std::vector<uint32_t>> ReferenceChildren(
+    const std::vector<TracedTransaction>& trace) {
+  const size_t n = trace.size();
+  std::vector<std::vector<uint32_t>> children(n);
+  std::map<uint64_t, uint32_t> last_writer;
+  std::map<uint64_t, std::vector<uint32_t>> readers_since;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::set<uint32_t> parents;
+    auto add_edge = [&](uint32_t from, uint32_t to) {
+      if (from == to) return;
+      if (!parents.insert(from).second) return;
+      children[from].push_back(to);
+    };
+    for (uint64_t row : trace[i].read_set) {
+      auto writer = last_writer.find(row);
+      if (writer != last_writer.end()) add_edge(writer->second, i);
+    }
+    for (uint64_t row : trace[i].write_set) {
+      auto writer = last_writer.find(row);
+      if (writer != last_writer.end()) add_edge(writer->second, i);
+      auto readers = readers_since.find(row);
+      if (readers != readers_since.end()) {
+        for (uint32_t reader : readers->second) add_edge(reader, i);
+      }
+    }
+    for (uint64_t row : trace[i].write_set) {
+      last_writer[row] = i;
+      readers_since[row].clear();
+    }
+    for (uint64_t row : trace[i].read_set) {
+      readers_since[row].push_back(i);
+    }
+  }
+  return children;
+}
+
+TEST(DependencyGraphTest, FlatContainersEmitByteIdenticalEdgeOrder) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u}) {
+    common::Rng rng(seed);
+    // High skew + small row space maximizes conflicts (and thus edges).
+    const auto trace = GenerateTrace(400, 120, 0.95, 4, 3, &rng);
+    TxnDependencyGraph graph(trace);
+    const auto expected = ReferenceChildren(trace);
+    size_t edges = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      ASSERT_EQ(graph.children(i), expected[i]) << "txn " << i << " seed "
+                                                << seed;
+      edges += expected[i].size();
+    }
+    EXPECT_EQ(graph.num_edges(), edges);
+    EXPECT_GT(edges, 0u);
   }
 }
 

@@ -41,6 +41,16 @@ ctest --test-dir build-check --output-on-failure -j "$JOBS"
 echo "== [4/8] bench equivalence smoke =="
 ( cd build-check && ./bench/bench_micro_hotpaths --mode=smoke \
     --out bench_hotpaths_smoke.json )
+# The engine fast-path gates must actually have run: a refactor that
+# silently dropped one of the seed-equivalence checks would otherwise pass
+# this stage on timings alone.
+for gate in zipf_stream_vs_seed bufferpool_replay_vs_seed \
+    engine_cold_vs_seed engine_cold_rng_stream; do
+  grep -q "\"$gate\"" build-check/bench_hotpaths_smoke.json || {
+    echo "bench smoke: equivalence gate '$gate' missing from report" >&2
+    exit 1
+  }
+done
 
 echo "== [5/8] tracecat smoke =="
 SMOKE_DIR="build-check/tracecat-smoke"
