@@ -6,7 +6,10 @@
 // asserts the two agree (ML paths to 1e-9; the engine fast path — flat
 // intrusive LRU, cached Zipf samplers, bit-exact early-exit fixed point —
 // bit for bit at tolerance 0.0), and writes machine-readable
-// BENCH_hotpaths.json.
+// BENCH_hotpaths.json. The *_simd benchmarks additionally time the
+// dispatched vector kernels (linalg/simd/) against the scalar tier of the
+// same entry points and gate bit identity at tolerance 0.0; every record
+// names the ISA tier it dispatched at ("scalar" / "avx2+fma").
 //
 // Usage: bench_micro_hotpaths [--smoke | --mode=smoke|full] [--out PATH]
 //   --smoke  tiny sizes, few iterations — run by ctest under the `perf`
@@ -47,10 +50,12 @@
 #include "cdb/knob_catalog.h"
 #include "cdb/simulated_engine.h"
 #include "cdb/workload_profile.h"
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "common/text.h"
 #include "common/thread_pool.h"
 #include "linalg/matrix.h"
+#include "linalg/simd/simd.h"
 #include "ml/cart.h"
 #include "ml/ddpg.h"
 #include "ml/gaussian_process.h"
@@ -104,6 +109,10 @@ struct BenchResult {
   double baseline_ms = 0.0;
   double optimized_ms = 0.0;
   size_t pool_threads = 0;  // 0 = single-threaded benchmark
+  // ISA tier the optimized run dispatched at ("scalar" / "avx2+fma"),
+  // captured at record time so a report from a non-AVX2 host (or a
+  // HUNTER_FORCE_SCALAR run) is self-describing.
+  std::string simd_tier;
   double Speedup() const {
     return optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0;
   }
@@ -122,7 +131,8 @@ std::vector<EquivResult> g_equivs;
 void RecordBench(const std::string& name, const std::string& config,
                  double baseline_ms, double optimized_ms,
                  size_t pool_threads = 0) {
-  g_benches.push_back({name, config, baseline_ms, optimized_ms, pool_threads});
+  g_benches.push_back({name, config, baseline_ms, optimized_ms, pool_threads,
+                       hunter::linalg::simd::ActiveTierName()});
   std::printf("%-18s baseline %9.3f ms  optimized %9.3f ms  speedup %5.2fx\n",
               name.c_str(), baseline_ms, optimized_ms,
               g_benches.back().Speedup());
@@ -1391,6 +1401,148 @@ void BenchPca(bool smoke) {
 }
 
 // ---------------------------------------------------------------------------
+// ISA-tier benchmarks: the same dispatched entry point timed twice, once
+// pinned to the scalar tier (SetSimdTierForTesting) and once at the tier
+// the host actually dispatches (ClearSimdTierForTesting falls back to
+// HUNTER_FORCE_SCALAR / hardware, so a forced-scalar run times scalar both
+// ways and honestly reports ~1x at tier "scalar"). The equivalence gates
+// demand bit identity — tolerance 0.0 — which the column-lane kernels owe
+// to ascending contraction order and separate mul+add (see
+// linalg/simd/simd.h).
+
+void BenchGemmSimd(bool smoke) {
+  const size_t n = smoke ? 16 : 128;
+  const int iters = smoke ? 3 : 40;
+  Rng rng(0xBEEF20);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+
+  Matrix scalar_out;
+  hunter::common::SetSimdTierForTesting(hunter::common::SimdTier::kScalar);
+  a.MultiplyInto(b, &scalar_out);
+  hunter::common::ClearSimdTierForTesting();
+  Matrix simd_out;
+  a.MultiplyInto(b, &simd_out);
+  double max_diff = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      max_diff =
+          std::max(max_diff, std::abs(scalar_out.At(r, c) - simd_out.At(r, c)));
+    }
+  }
+  RecordEquiv("gemm_simd_vs_scalar", max_diff, 0.0);
+
+  double sink = 0.0;
+  hunter::common::SetSimdTierForTesting(hunter::common::SimdTier::kScalar);
+  const double baseline_ms = TimeMs(
+      [&] {
+        a.MultiplyInto(b, &scalar_out);
+        sink += scalar_out.At(0, 0);
+      },
+      iters);
+  hunter::common::ClearSimdTierForTesting();
+  const double optimized_ms = TimeMs(
+      [&] {
+        a.MultiplyInto(b, &simd_out);
+        sink += simd_out.At(0, 0);
+      },
+      iters);
+  if (sink == 42.0) std::printf("unlikely\n");  // keep the sink alive
+  RecordBench("gemm_simd", std::to_string(n) + "x" + std::to_string(n) + "x" +
+                               std::to_string(n) + " scalar tier vs dispatched",
+              baseline_ms, optimized_ms);
+}
+
+void BenchGpKernelSimd(bool smoke) {
+  // The GP's vectorized kernels end to end: gram build and Cholesky append
+  // (SquaredDistInto + CholeskyDowndate4) inside Fit, then the GEMM-backed
+  // cross-covariance and squared-distance expansion inside
+  // ExpectedImprovementBatch.
+  const size_t n = smoke ? 24 : 120;
+  const size_t d = smoke ? 8 : 48;
+  const size_t candidates = smoke ? 20 : 200;
+  const int iters = smoke ? 2 : 20;
+  Rng data_rng(0xBEEF21);
+  Matrix x;
+  std::vector<double> y;
+  MakeRegressionData(n, d, &data_rng, &x, &y);
+  const Matrix cand = RandomMatrix(candidates, d, &data_rng);
+  const double best = *std::max_element(y.begin(), y.end());
+
+  hunter::common::SetSimdTierForTesting(hunter::common::SimdTier::kScalar);
+  hunter::ml::GaussianProcess scalar_gp;
+  scalar_gp.Fit(x, y);
+  std::vector<double> scalar_scores;
+  scalar_gp.ExpectedImprovementBatch(cand, best, &scalar_scores);
+  hunter::common::ClearSimdTierForTesting();
+  hunter::ml::GaussianProcess simd_gp;
+  simd_gp.Fit(x, y);
+  std::vector<double> simd_scores;
+  simd_gp.ExpectedImprovementBatch(cand, best, &simd_scores);
+  RecordEquiv("gp_kernel_simd_vs_scalar",
+              MaxAbsDiff(scalar_scores, simd_scores), 0.0);
+
+  double sink = 0.0;
+  hunter::common::SetSimdTierForTesting(hunter::common::SimdTier::kScalar);
+  const double baseline_ms = TimeMs(
+      [&] {
+        hunter::ml::GaussianProcess gp;
+        gp.Fit(x, y);
+        gp.ExpectedImprovementBatch(cand, best, &scalar_scores);
+        sink += scalar_scores[0];
+      },
+      iters);
+  hunter::common::ClearSimdTierForTesting();
+  const double optimized_ms = TimeMs(
+      [&] {
+        hunter::ml::GaussianProcess gp;
+        gp.Fit(x, y);
+        gp.ExpectedImprovementBatch(cand, best, &simd_scores);
+        sink += simd_scores[0];
+      },
+      iters);
+  if (sink == 42.0) std::printf("unlikely\n");  // keep the sink alive
+  RecordBench("gp_kernel_simd",
+              "fit n=" + std::to_string(n) + ", d=" + std::to_string(d) +
+                  " + EI over " + std::to_string(candidates) + " candidates",
+              baseline_ms, optimized_ms);
+}
+
+void BenchMlpForwardSimd(bool smoke) {
+  const size_t batch = 32;
+  const std::vector<size_t> sizes = {63, 64, 64, 20};
+  const int iters = smoke ? 3 : 300;
+  Rng rng(0xBEEF22);
+  hunter::ml::Mlp net(sizes, hunter::ml::Activation::kReLU,
+                      hunter::ml::Activation::kTanh, &rng);
+  const Matrix input = RandomMatrix(batch, sizes.front(), &rng);
+
+  Matrix scalar_out;
+  hunter::common::SetSimdTierForTesting(hunter::common::SimdTier::kScalar);
+  net.ForwardBatch(input, &scalar_out);
+  hunter::common::ClearSimdTierForTesting();
+  Matrix simd_out;
+  net.ForwardBatch(input, &simd_out);
+  double max_diff = 0.0;
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t c = 0; c < sizes.back(); ++c) {
+      max_diff =
+          std::max(max_diff, std::abs(scalar_out.At(r, c) - simd_out.At(r, c)));
+    }
+  }
+  RecordEquiv("mlp_forward_simd_vs_scalar", max_diff, 0.0);
+
+  hunter::common::SetSimdTierForTesting(hunter::common::SimdTier::kScalar);
+  const double baseline_ms = TimeMs(
+      [&] { net.ForwardBatch(input, &scalar_out); }, iters);
+  hunter::common::ClearSimdTierForTesting();
+  const double optimized_ms =
+      TimeMs([&] { net.ForwardBatch(input, &simd_out); }, iters);
+  RecordBench("mlp_forward_simd", "net {63,64,64,20} batch 32", baseline_ms,
+              optimized_ms);
+}
+
+// ---------------------------------------------------------------------------
 
 // Scientific notation with `digits` fractional digits, classic locale
 // (fprintf "%e" would follow the process locale's decimal separator).
@@ -1416,6 +1568,8 @@ void WriteJson(const std::string& path, bool smoke) {
   f << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
     << ",\n";
   f << "  \"pool_threads\": " << g_pool_threads << ",\n";
+  f << "  \"simd_tier\": \"" << hunter::linalg::simd::ActiveTierName()
+    << "\",\n";
   f << "  \"benchmarks\": [\n";
   for (size_t i = 0; i < g_benches.size(); ++i) {
     const BenchResult& b = g_benches[i];
@@ -1424,7 +1578,8 @@ void WriteJson(const std::string& path, bool smoke) {
       << hunter::common::FormatDoubleFixed(b.baseline_ms, 6)
       << ", \"optimized_ms\": "
       << hunter::common::FormatDoubleFixed(b.optimized_ms, 6)
-      << ", \"speedup\": " << hunter::common::FormatDoubleFixed(b.Speedup(), 3);
+      << ", \"speedup\": " << hunter::common::FormatDoubleFixed(b.Speedup(), 3)
+      << ", \"simd_tier\": \"" << b.simd_tier << "\"";
     if (b.pool_threads > 0) f << ", \"pool_threads\": " << b.pool_threads;
     f << "}" << (i + 1 < g_benches.size() ? "," : "") << "\n";
   }
@@ -1494,6 +1649,9 @@ int main(int argc, char** argv) {
   BenchEngineEvalCold(smoke);
   BenchEngineEvalCached(smoke);
   BenchPca(smoke);
+  BenchGemmSimd(smoke);
+  BenchGpKernelSimd(smoke);
+  BenchMlpForwardSimd(smoke);
   WriteJson(out_path, smoke);
 
   bool all_pass = true;

@@ -7,132 +7,26 @@
 #include <numeric>
 #include <utility>
 
+#include "linalg/simd/simd.h"
+
 namespace hunter::linalg {
 
-namespace {
-
-// Both kernels register-block a 4-row x 32-column output tile: the tile is
-// read once, accumulated in a fixed-size local array, and stored once,
-// instead of re-streaming the output row through memory on every step of
-// the contraction. 4 x 32 doubles is exactly 16 AVX-512 (or 32 AVX2)
-// registers — small enough that the compiler keeps the whole accumulator
-// in registers; a wider tile would need the entire register file and spill
-// every contraction step. The contraction index still ascends for every
-// individual output element, so blocking changes no rounding — results
-// stay bit-identical to the plain triple loop (see the header contract).
-constexpr size_t kRowBlock = 4;
-constexpr size_t kColTile = 32;
-
-// How a panel's accumulator tile starts: from the existing contents of
-// `out` (accumulate mode), from zero (plain product — no zero-fill pass
-// over `out` is needed since every element is stored exactly once), or
-// from a broadcast bias row (the layer-forward kernel).
-enum class PanelInit { kLoad, kZero, kBias };
-
-// One column panel [j0, j0 + jw) of the output. kJw is kColTile for full
-// panels — the constant inner trip counts let the compiler emit
-// straight-line FMA code over the register-held accumulator — and 0 for
-// the ragged right edge, which falls back to runtime-width loops.
-// kTransposedA selects how the contraction reads A: row-major (C = A B,
-// the contraction walks a row of A) or transposed (C = A^T B, it walks a
-// column of the k x m operand). Either way the contraction index kk
-// ascends, matching the per-sample dot-product / gradient-accumulation
-// order.
-// hunterlint: hot
-template <bool kTransposedA, size_t kJw, PanelInit kInit>
-void GemmPanel(const double* __restrict a, size_t m, size_t k,
-               const double* __restrict b, size_t n, size_t j0, size_t jw_in,
-               const double* __restrict bias, double* __restrict out) {
-  const size_t jw = kJw != 0 ? kJw : jw_in;
-  size_t i = 0;
-  for (; i + kRowBlock <= m; i += kRowBlock) {
-    double acc[kRowBlock][kColTile];
-    for (size_t ib = 0; ib < kRowBlock; ++ib) {
-      const double* out_row = out + (i + ib) * n + j0;
-      for (size_t j = 0; j < jw; ++j) {
-        acc[ib][j] = kInit == PanelInit::kLoad   ? out_row[j]
-                     : kInit == PanelInit::kBias ? bias[j0 + j]
-                                                 : 0.0;
-      }
-    }
-    for (size_t kk = 0; kk < k; ++kk) {
-      const double* b_row = b + kk * n + j0;
-      for (size_t ib = 0; ib < kRowBlock; ++ib) {
-        const double a_ik =
-            kTransposedA ? a[kk * m + i + ib] : a[(i + ib) * k + kk];
-        for (size_t j = 0; j < jw; ++j) acc[ib][j] += a_ik * b_row[j];
-      }
-    }
-    for (size_t ib = 0; ib < kRowBlock; ++ib) {
-      double* out_row = out + (i + ib) * n + j0;
-      for (size_t j = 0; j < jw; ++j) out_row[j] = acc[ib][j];
-    }
-  }
-  for (; i < m; ++i) {
-    double acc[kColTile];
-    double* out_row = out + i * n + j0;
-    for (size_t j = 0; j < jw; ++j) {
-      acc[j] = kInit == PanelInit::kLoad   ? out_row[j]
-               : kInit == PanelInit::kBias ? bias[j0 + j]
-                                           : 0.0;
-    }
-    for (size_t kk = 0; kk < k; ++kk) {
-      const double a_ik = kTransposedA ? a[kk * m + i] : a[i * k + kk];
-      const double* b_row = b + kk * n + j0;
-      for (size_t j = 0; j < jw; ++j) acc[j] += a_ik * b_row[j];
-    }
-    for (size_t j = 0; j < jw; ++j) out_row[j] = acc[j];
-  }
-}
-
-// hunterlint: hot
-template <bool kTransposedA, PanelInit kInit>
-void GemmDispatch(const double* __restrict a, size_t m, size_t k,
-                  const double* __restrict b, size_t n,
-                  const double* __restrict bias, double* __restrict out) {
-  size_t j0 = 0;
-  for (; j0 + kColTile <= n; j0 += kColTile) {
-    GemmPanel<kTransposedA, kColTile, kInit>(a, m, k, b, n, j0, kColTile, bias,
-                                             out);
-  }
-  // The ragged right edge decomposes into constant-width sub-panels (one
-  // 16-wide panel, then 2-wide pairs, then a final single column) instead
-  // of one runtime-width panel: variable trip counts force masked,
-  // partially-unrolled vector code that measures several times slower than
-  // the straight-line constant-width panels. Widths 8 and 4 are skipped on
-  // purpose — GCC's vectorizer emits pathologically slow code for those
-  // trip counts (measured slower than a full 32-wide panel) while 16, 2
-  // and 1 are all near the per-column cost of the main tile. Column
-  // decomposition only partitions output elements between panels — each
-  // element's contraction is untouched, so results are still bit-identical.
-  if (j0 + 16 <= n) {
-    GemmPanel<kTransposedA, 16, kInit>(a, m, k, b, n, j0, 16, bias, out);
-    j0 += 16;
-  }
-  for (; j0 + 2 <= n; j0 += 2) {
-    GemmPanel<kTransposedA, 2, kInit>(a, m, k, b, n, j0, 2, bias, out);
-  }
-  if (j0 < n) {
-    GemmPanel<kTransposedA, 1, kInit>(a, m, k, b, n, j0, 1, bias, out);
-  }
-}
-
-}  // namespace
+// The register-tiled panel kernels moved to linalg/simd/ (gemm_scalar.cc
+// holds the former in-file implementation verbatim; gemm_avx2.cc is the
+// hand-written AVX2 lane). These public entry points are now thin
+// runtime-dispatch shims; the contraction-order contract in matrix.h is
+// unchanged and holds at every tier.
 
 void GemmInto(const double* __restrict a, size_t m, size_t k,
               const double* __restrict b, size_t n, bool accumulate,
               double* __restrict out) {
-  if (accumulate) {
-    GemmDispatch<false, PanelInit::kLoad>(a, m, k, b, n, nullptr, out);
-  } else {
-    GemmDispatch<false, PanelInit::kZero>(a, m, k, b, n, nullptr, out);
-  }
+  simd::GemmInto(a, m, k, b, n, accumulate, out);
 }
 
 void GemmBiasInto(const double* __restrict a, size_t m, size_t k,
                   const double* __restrict b, size_t n,
                   const double* __restrict bias, double* __restrict out) {
-  GemmDispatch<false, PanelInit::kBias>(a, m, k, b, n, bias, out);
+  simd::GemmBiasInto(a, m, k, b, n, bias, out);
 }
 
 void GemmTransposedAInto(const double* __restrict a, size_t k, size_t m,
@@ -141,11 +35,7 @@ void GemmTransposedAInto(const double* __restrict a, size_t k, size_t m,
   // Contraction over the shared leading row index r of the k x m operand,
   // ascending — the same order in which the per-sample backward pass
   // accumulates parameter gradients.
-  if (accumulate) {
-    GemmDispatch<true, PanelInit::kLoad>(a, m, k, b, n, nullptr, out);
-  } else {
-    GemmDispatch<true, PanelInit::kZero>(a, m, k, b, n, nullptr, out);
-  }
+  simd::GemmTransposedAInto(a, k, m, b, n, accumulate, out);
 }
 
 Matrix::Matrix(size_t rows, size_t cols)
@@ -236,46 +126,47 @@ std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
 Matrix Matrix::Add(const Matrix& other) const {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix result(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    result.data_[i] = data_[i] + other.data_[i];
-  }
+  simd::AddInto(data_.data(), other.data_.data(), result.data_.data(),
+                data_.size());
   return result;
 }
 
 Matrix Matrix::Subtract(const Matrix& other) const {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
   Matrix result(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    result.data_[i] = data_[i] - other.data_[i];
-  }
+  simd::SubInto(data_.data(), other.data_.data(), result.data_.data(),
+                data_.size());
   return result;
 }
 
 Matrix Matrix::Scale(double factor) const {
   Matrix result(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) result.data_[i] = data_[i] * factor;
+  simd::ScaleInto(data_.data(), factor, result.data_.data(), data_.size());
   return result;
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::AddInto(data_.data(), other.data_.data(), data_.data(), data_.size());
 }
 
 void Matrix::ScaleInPlace(double factor) {
-  for (double& v : data_) v *= factor;
+  simd::ScaleInto(data_.data(), factor, data_.data(), data_.size());
 }
 
 void Matrix::Axpy(double alpha, const Matrix& x) {
   assert(rows_ == x.rows_ && cols_ == x.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+  simd::AxpyInPlace(alpha, x.data_.data(), data_.data(), data_.size());
 }
 
 std::vector<double> ColumnMeans(const Matrix& data) {
   std::vector<double> means(data.cols(), 0.0);
   if (data.rows() == 0) return means;
+  // Row-by-row vector accumulate: column c's sum still adds the rows in
+  // ascending order, exactly like the former nested scalar loop.
   for (size_t r = 0; r < data.rows(); ++r) {
-    for (size_t c = 0; c < data.cols(); ++c) means[c] += data.At(r, c);
+    simd::AddInto(means.data(), data.Data() + r * data.cols(), means.data(),
+                  data.cols());
   }
   for (double& m : means) m /= static_cast<double>(data.rows());
   return means;
@@ -286,10 +177,8 @@ std::vector<double> ColumnStdDevs(const Matrix& data) {
   if (data.rows() < 2) return stds;
   const std::vector<double> means = ColumnMeans(data);
   for (size_t r = 0; r < data.rows(); ++r) {
-    for (size_t c = 0; c < data.cols(); ++c) {
-      const double d = data.At(r, c) - means[c];
-      stds[c] += d * d;
-    }
+    simd::AccumSquaredCentered(data.Data() + r * data.cols(), means.data(),
+                               stds.data(), data.cols());
   }
   for (double& s : stds) s = std::sqrt(s / static_cast<double>(data.rows() - 1));
   return stds;
@@ -300,11 +189,9 @@ Matrix Standardize(const Matrix& data, bool unit_variance) {
   const std::vector<double> stds = ColumnStdDevs(data);
   Matrix result(data.rows(), data.cols());
   for (size_t r = 0; r < data.rows(); ++r) {
-    for (size_t c = 0; c < data.cols(); ++c) {
-      double value = data.At(r, c) - means[c];
-      if (unit_variance && stds[c] > 1e-12) value /= stds[c];
-      result.At(r, c) = value;
-    }
+    simd::StandardizeInto(data.Data() + r * data.cols(), means.data(),
+                          stds.data(), unit_variance,
+                          result.Data() + r * data.cols(), data.cols());
   }
   return result;
 }
@@ -317,7 +204,8 @@ Matrix Covariance(const Matrix& data) {
   const std::vector<double> means = ColumnMeans(data);
   Matrix centered(n, d);
   for (size_t r = 0; r < n; ++r) {
-    for (size_t c = 0; c < d; ++c) centered.At(r, c) = data.At(r, c) - means[c];
+    simd::SubInto(data.Data() + r * d, means.data(), centered.Data() + r * d,
+                  d);
   }
   centered.TransposedMultiplyInto(centered, &cov);
   cov.ScaleInPlace(1.0 / static_cast<double>(n - 1));
@@ -581,7 +469,27 @@ bool CholeskyAppendRow(const std::vector<double>& new_row, Matrix* lower) {
   // last row, with the same operand values in the same order, so the grown
   // factor matches a from-scratch refactorization bit for bit.
   std::vector<double> row(n + 1, 0.0);
-  for (size_t j = 0; j < n; ++j) {
+  // Blocked left-looking evaluation: four appended-row columns at a time.
+  // The vector primitive folds the k < j0 prefix common to all four lanes
+  // (independent output elements, k ascending per lane); the triangular
+  // remainder k in [j0, j) and the divide finish serially per lane, in lane
+  // order, so row[j] is always complete before lane j+1 reads it. Term
+  // order per element is untouched — the factor still matches a
+  // from-scratch refactorization bit for bit.
+  size_t j0 = 0;
+  for (; j0 + 4 <= n; j0 += 4) {
+    double sums[4] = {new_row[j0], new_row[j0 + 1], new_row[j0 + 2],
+                      new_row[j0 + 3]};
+    simd::CholeskyDowndate4(lower->Data(), n, j0, /*k_end=*/j0, row.data(),
+                            sums);
+    for (size_t l = 0; l < 4; ++l) {
+      const size_t j = j0 + l;
+      double sum = sums[l];
+      for (size_t k = j0; k < j; ++k) sum -= row[k] * lower->At(j, k);
+      row[j] = sum / lower->At(j, j);
+    }
+  }
+  for (size_t j = j0; j < n; ++j) {
     double sum = new_row[j];
     for (size_t k = 0; k < j; ++k) sum -= row[k] * lower->At(j, k);
     row[j] = sum / lower->At(j, j);

@@ -1,0 +1,124 @@
+// Scalar fallbacks for the elementwise kernels. Each loop body is the
+// exact expression the original call site evaluated (same operand order,
+// same conditionals), so routing a hot path through this layer at the
+// scalar tier changes nothing — and the AVX2 lane is bit-compared against
+// these, not against the call sites' history.
+
+#include "linalg/simd/simd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hunter::linalg::simd {
+
+void AddIntoScalar(const double* x, const double* y, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void SubIntoScalar(const double* x, const double* y, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void ScaleIntoScalar(const double* x, double factor, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] * factor;
+}
+
+void AxpyInPlaceScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void SoftUpdateInPlaceScalar(double tau, const double* src, double* dst,
+                             size_t n) {
+  const double one_minus_tau = 1.0 - tau;
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = tau * src[i] + one_minus_tau * dst[i];
+  }
+}
+
+void AdamUpdateInPlaceScalar(double* p, const double* grads, double* m,
+                             double* v, size_t n, double scale, double lr,
+                             double beta1, double beta2, double bias1,
+                             double bias2, double eps) {
+  const double one_minus_beta1 = 1.0 - beta1;
+  const double one_minus_beta2 = 1.0 - beta2;
+  for (size_t i = 0; i < n; ++i) {
+    const double g = grads[i] * scale;
+    m[i] = beta1 * m[i] + one_minus_beta1 * g;
+    v[i] = beta2 * v[i] + one_minus_beta2 * g * g;
+    const double mhat = m[i] / bias1;
+    const double vhat = v[i] / bias2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void ReluIntoScalar(const double* x, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void ReluGradMulIntoScalar(const double* g, const double* pre, double* out,
+                           size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = g[i] * (pre[i] > 0.0 ? 1.0 : 0.0);
+  }
+}
+
+void TanhGradMulIntoScalar(const double* g, const double* post, double* out,
+                           size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = g[i] * (1.0 - post[i] * post[i]);
+  }
+}
+
+void AccumSquaredCenteredScalar(const double* x, const double* means,
+                                double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double d = x[i] - means[i];
+    acc[i] += d * d;
+  }
+}
+
+void StandardizeIntoScalar(const double* x, const double* means,
+                           const double* stds, bool unit_variance,
+                           double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    double value = x[i] - means[i];
+    if (unit_variance && stds[i] > 1e-12) value /= stds[i];
+    out[i] = value;
+  }
+}
+
+void SquaredDistIntoScalar(double norm_a, const double* norms_b,
+                           const double* dots, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::max(0.0, norm_a + norms_b[i] - 2.0 * dots[i]);
+  }
+}
+
+void ClampUnitFromTanhIntoScalar(const double* x, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double v = 0.5 * (x[i] + 1.0);
+    out[i] = v < 0.0 ? 0.0 : (1.0 < v ? 1.0 : v);
+  }
+}
+
+void ScaleClampIntoScalar(const double* x, double factor, double clip,
+                          double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double v = x[i] * factor;
+    out[i] = v < -clip ? -clip : (clip < v ? clip : v);
+  }
+}
+
+void CholeskyDowndate4Scalar(const double* lower, size_t stride, size_t j0,
+                             size_t k_end, const double* row, double* sums) {
+  // Four independent lanes; each one's k ascends, so lane l's partial sum
+  // is term-for-term the scalar recurrence for appended-row column j0 + l.
+  for (size_t l = 0; l < 4; ++l) {
+    const double* lrow = lower + (j0 + l) * stride;
+    double sum = sums[l];
+    for (size_t k = 0; k < k_end; ++k) sum -= row[k] * lrow[k];
+    sums[l] = sum;
+  }
+}
+
+}  // namespace hunter::linalg::simd

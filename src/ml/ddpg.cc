@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/simd/simd.h"
+
 namespace hunter::ml {
 
 namespace {
@@ -29,9 +31,8 @@ std::vector<double> Concat(const std::vector<double>& a,
 // Maps tanh output in [-1,1] to the normalized knob space [0,1].
 std::vector<double> TanhToUnit(const std::vector<double>& tanh_out) {
   std::vector<double> unit(tanh_out.size());
-  for (size_t i = 0; i < tanh_out.size(); ++i) {
-    unit[i] = std::clamp(0.5 * (tanh_out[i] + 1.0), 0.0, 1.0);
-  }
+  linalg::simd::ClampUnitFromTanhInto(tanh_out.data(), unit.data(),
+                                      unit.size());
   return unit;
 }
 
@@ -159,10 +160,8 @@ double Ddpg::TrainStepBatched() {
     double* row = b_next_sa_.Data() + r * (s_dim + a_dim);
     std::copy(b_next_states_.Data() + r * s_dim,
               b_next_states_.Data() + (r + 1) * s_dim, row);
-    const double* tanh_row = b_tanh_.Data() + r * a_dim;
-    for (size_t i = 0; i < a_dim; ++i) {
-      row[s_dim + i] = std::clamp(0.5 * (tanh_row[i] + 1.0), 0.0, 1.0);
-    }
+    linalg::simd::ClampUnitFromTanhInto(b_tanh_.Data() + r * a_dim,
+                                        row + s_dim, a_dim);
   }
   target_critic_.ForwardBatch(b_next_sa_, &b_next_q_);
   for (size_t r = 0; r < batch; ++r) {
@@ -190,11 +189,9 @@ double Ddpg::TrainStepBatched() {
   actor_.ZeroGradients();
   actor_.ForwardBatch(b_states_, &b_tanh_);
   for (size_t r = 0; r < batch; ++r) {
-    double* sa_row = b_sa_.Data() + r * (s_dim + a_dim);
-    const double* tanh_row = b_tanh_.Data() + r * a_dim;
-    for (size_t i = 0; i < a_dim; ++i) {
-      sa_row[s_dim + i] = std::clamp(0.5 * (tanh_row[i] + 1.0), 0.0, 1.0);
-    }
+    linalg::simd::ClampUnitFromTanhInto(
+        b_tanh_.Data() + r * a_dim,
+        b_sa_.Data() + r * (s_dim + a_dim) + s_dim, a_dim);
   }
   critic_.ForwardBatch(b_sa_, &b_q_);
   b_grad_q_.Reshape(batch, 1);
@@ -205,14 +202,15 @@ double Ddpg::TrainStepBatched() {
                         /*accumulate_param_grads=*/false);
   b_grad_action_.Reshape(batch, a_dim);
   for (size_t r = 0; r < batch; ++r) {
-    const double* grad_row = b_grad_sa_.Data() + r * (s_dim + a_dim);
+    // Chain through the [-1,1] -> [0,1] affine map (factor 0.5), clipping
+    // like the scalar path when grad_clip is enabled.
+    const double* grad_row = b_grad_sa_.Data() + r * (s_dim + a_dim) + s_dim;
     double* out_row = b_grad_action_.Data() + r * a_dim;
-    for (size_t i = 0; i < a_dim; ++i) {
-      double g = 0.5 * grad_row[s_dim + i];
-      if (options_.grad_clip > 0.0) {
-        g = std::clamp(g, -options_.grad_clip, options_.grad_clip);
-      }
-      out_row[i] = g;
+    if (options_.grad_clip > 0.0) {
+      linalg::simd::ScaleClampInto(grad_row, 0.5, options_.grad_clip, out_row,
+                                   a_dim);
+    } else {
+      linalg::simd::ScaleInto(grad_row, 0.5, out_row, a_dim);
     }
   }
   actor_.BackwardBatch(b_grad_action_, nullptr);

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "linalg/simd/simd.h"
+
 namespace hunter::ml {
 
 namespace {
@@ -101,10 +103,17 @@ bool GaussianProcess::FitFull(const linalg::Matrix& x,
   for (size_t i = 0; i < n; ++i) row_norms_[i] = gram.At(i, i);
 
   linalg::Matrix k(n, n);
+  // Squared distances for row i's upper triangle in one vector kernel (the
+  // max(0, nᵢ + nⱼ − 2g) expansion, exactly as KernelFromParts computes
+  // it), then the scalar exp — libm has no bit-reproducible vector form.
+  const double ls = options_.length_scale * options_.length_scale;
+  std::vector<double> sq(n);
   for (size_t i = 0; i < n; ++i) {
+    const double* gram_row = gram.Data() + i * n;
+    linalg::simd::SquaredDistInto(row_norms_[i], row_norms_.data() + i,
+                                  gram_row + i, sq.data() + i, n - i);
     for (size_t j = i; j < n; ++j) {
-      const double value =
-          KernelFromParts(row_norms_[i], row_norms_[j], gram.At(i, j));
+      const double value = options_.signal_variance * std::exp(-0.5 * sq[j] / ls);
       k.At(i, j) = value;
       k.At(j, i) = value;
     }
@@ -131,14 +140,24 @@ bool GaussianProcess::FitIncremental(const linalg::Matrix& x,
   linalg::Matrix chol = chol_;
   std::vector<double> norms = row_norms_;
   std::vector<double> k_new;
+  std::vector<double> dots;
+  const double ls = options_.length_scale * options_.length_scale;
   for (size_t r = old_n; r < n; ++r) {
     const linalg::RowSpan xr = x.RowView(r);
     // Ascending self-dot == what the Gram GEMM's diagonal would hold.
     const double norm_r = DotAscending(xr.data, xr.data, d);
     k_new.assign(r + 1, 0.0);
+    dots.resize(r);
     for (size_t j = 0; j < r; ++j) {
-      k_new[j] = KernelFromParts(norms[j], norm_r,
-                                 DotAscending(x.RowView(j).data, xr.data, d));
+      dots[j] = DotAscending(x.RowView(j).data, xr.data, d);
+    }
+    // The expansion is nⱼ + n_r − 2d in KernelFromParts operand order; the
+    // vector kernel computes n_r + nⱼ − 2d, identical bits because IEEE
+    // addition is commutative (only association changes rounding).
+    linalg::simd::SquaredDistInto(norm_r, norms.data(), dots.data(),
+                                  k_new.data(), r);
+    for (size_t j = 0; j < r; ++j) {
+      k_new[j] = options_.signal_variance * std::exp(-0.5 * k_new[j] / ls);
     }
     // Diagonal: zero distance exactly, as in the full path.
     k_new[r] = KernelFromParts(norm_r, norm_r, norm_r) +
@@ -226,11 +245,16 @@ void GaussianProcess::PredictBatch(const linalg::Matrix& x,
 
   k_star_.resize(n);
   forward_.resize(n);
+  const double ls = options_.length_scale * options_.length_scale;
   for (size_t i = 0; i < m; ++i) {
+    // Vectorized squared-distance expansion into k_star_, finished in place
+    // by the scalar exp (libm, not reproducibly vectorizable) fused with
+    // the ascending mean accumulation.
+    linalg::simd::SquaredDistInto(query_norms_[i], row_norms_.data(),
+                                  cross_.Data() + i * n, k_star_.data(), n);
     double mean = y_mean_;
     for (size_t j = 0; j < n; ++j) {
-      k_star_[j] =
-          KernelFromParts(query_norms_[i], row_norms_[j], cross_.At(i, j));
+      k_star_[j] = options_.signal_variance * std::exp(-0.5 * k_star_[j] / ls);
       mean += k_star_[j] * alpha_[j];
     }
     // Forward substitution only: with w = L^{-1} k*, the quadratic form

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/simd/simd.h"
+
 namespace hunter::ml {
 
 Mlp::Mlp(const std::vector<size_t>& layer_sizes, Activation hidden,
@@ -121,8 +123,22 @@ void Mlp::ForwardBatch(const linalg::Matrix& input, linalg::Matrix* output) {
     layer.batch_out.Reshape(batch, layer.out);
     const double* pre = layer.batch_pre.Data();
     double* out = layer.batch_out.Data();
-    for (size_t idx = 0; idx < batch * layer.out; ++idx) {
-      out[idx] = Activate(pre[idx], layer.activation);
+    const size_t count = batch * layer.out;
+    switch (layer.activation) {
+      case Activation::kReLU:
+        // max(x, 0) with the x-operand first is IEEE-identical to the
+        // scalar `x > 0 ? x : 0` for every input including -0.0 and NaN.
+        linalg::simd::ReluInto(pre, out, count);
+        break;
+      case Activation::kLinear:
+        std::copy(pre, pre + count, out);
+        break;
+      case Activation::kTanh:
+        // libm tanh has no vector form with identical rounding; stay scalar.
+        for (size_t idx = 0; idx < count; ++idx) {
+          out[idx] = std::tanh(pre[idx]);
+        }
+        break;
     }
     cur = &layer.batch_out;
   }
@@ -148,9 +164,17 @@ void Mlp::BackwardBatch(const linalg::Matrix& grad_output,
       const double* pre = layer.batch_pre.Data();
       const double* post = layer.batch_out.Data();
       double* delta = scratch_delta_.Data();
-      for (size_t idx = 0; idx < batch * layer.out; ++idx) {
-        delta[idx] = g[idx] * ActivateGrad(pre[idx], post[idx],
-                                           layer.activation);
+      const size_t count = batch * layer.out;
+      switch (layer.activation) {
+        case Activation::kReLU:
+          linalg::simd::ReluGradMulInto(g, pre, delta, count);
+          break;
+        case Activation::kTanh:
+          linalg::simd::TanhGradMulInto(g, post, delta, count);
+          break;
+        case Activation::kLinear:
+          std::copy(g, g + count, delta);
+          break;
       }
     }
     const double* delta = scratch_delta_.Data();
@@ -164,8 +188,8 @@ void Mlp::BackwardBatch(const linalg::Matrix& grad_output,
                                   layer.in, /*accumulate=*/true,
                                   layer.grad_weights.data());
       for (size_t r = 0; r < batch; ++r) {
-        const double* drow = delta + r * layer.out;
-        for (size_t o = 0; o < layer.out; ++o) layer.grad_bias[o] += drow[o];
+        linalg::simd::AddInto(layer.grad_bias.data(), delta + r * layer.out,
+                              layer.grad_bias.data(), layer.out);
       }
     }
     // Gradient w.r.t. the layer input = delta * weights (batch x in). The
@@ -224,26 +248,19 @@ void Mlp::AdamStep(double learning_rate, size_t batch_size) {
   const double scale = batch_size > 0 ? 1.0 / static_cast<double>(batch_size) : 1.0;
   const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_step_));
   const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_step_));
-  // Flat restrict-qualified spans so the per-parameter update (the same
-  // expression as before, element by element) vectorizes cleanly.
-  const auto update_span = [&](double* __restrict p, double* __restrict gp,
-                               double* __restrict mp, double* __restrict vp,
-                               size_t count) {
-    for (size_t i = 0; i < count; ++i) {
-      const double g = gp[i] * scale;
-      mp[i] = kBeta1 * mp[i] + (1.0 - kBeta1) * g;
-      vp[i] = kBeta2 * vp[i] + (1.0 - kBeta2) * g * g;
-      const double mhat = mp[i] / bias1;
-      const double vhat = vp[i] / bias2;
-      p[i] -= learning_rate * mhat / (std::sqrt(vhat) + kEpsilon);
-    }
-  };
+  // The whole update is elementwise (vsqrtpd rounds identically to
+  // std::sqrt), so it runs through the dispatched kernel.
   for (Layer& layer : layers_) {
-    update_span(layer.weights.data(), layer.grad_weights.data(),
-                layer.m_weights.data(), layer.v_weights.data(),
-                layer.weights.size());
-    update_span(layer.bias.data(), layer.grad_bias.data(),
-                layer.m_bias.data(), layer.v_bias.data(), layer.out);
+    linalg::simd::AdamUpdateInPlace(layer.weights.data(),
+                                    layer.grad_weights.data(),
+                                    layer.m_weights.data(),
+                                    layer.v_weights.data(),
+                                    layer.weights.size(), scale, learning_rate,
+                                    kBeta1, kBeta2, bias1, bias2, kEpsilon);
+    linalg::simd::AdamUpdateInPlace(layer.bias.data(), layer.grad_bias.data(),
+                                    layer.m_bias.data(), layer.v_bias.data(),
+                                    layer.out, scale, learning_rate, kBeta1,
+                                    kBeta2, bias1, bias2, kEpsilon);
     layer.weights_t_valid = false;
   }
   ZeroGradients();
@@ -262,12 +279,10 @@ void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
     Layer& dst = layers_[li];
     const Layer& src = other.layers_[li];
     assert(dst.weights.size() == src.weights.size());
-    for (size_t i = 0; i < dst.weights.size(); ++i) {
-      dst.weights[i] = tau * src.weights[i] + (1.0 - tau) * dst.weights[i];
-    }
-    for (size_t o = 0; o < dst.out; ++o) {
-      dst.bias[o] = tau * src.bias[o] + (1.0 - tau) * dst.bias[o];
-    }
+    linalg::simd::SoftUpdateInPlace(tau, src.weights.data(),
+                                    dst.weights.data(), dst.weights.size());
+    linalg::simd::SoftUpdateInPlace(tau, src.bias.data(), dst.bias.data(),
+                                    dst.out);
     if (dst.weights_t_valid && src.weights_t_valid) {
       // The transpose cache is a position permutation of the weights, and
       // the elementwise soft update commutes with any permutation: updating
@@ -276,11 +291,9 @@ void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
       // transpose at the next forward for one streaming pass here. In the
       // DDPG training loop (soft update every step) this keeps the target
       // networks' caches permanently warm.
-      double* dt = dst.weights_t.Data();
-      const double* st = src.weights_t.Data();
-      for (size_t i = 0; i < dst.weights.size(); ++i) {
-        dt[i] = tau * st[i] + (1.0 - tau) * dt[i];
-      }
+      linalg::simd::SoftUpdateInPlace(tau, src.weights_t.Data(),
+                                      dst.weights_t.Data(),
+                                      dst.weights.size());
     } else {
       dst.weights_t_valid = false;
     }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/simd/simd.h"
+
 namespace hunter::ml {
 
 void Pca::Fit(const linalg::Matrix& data, bool standardize) {
@@ -53,10 +55,8 @@ std::vector<double> Pca::Transform(const std::vector<double>& row,
   assert(row.size() == means_.size());
   k = std::min(k, components_.cols());
   std::vector<double> centered(row.size());
-  for (size_t i = 0; i < row.size(); ++i) {
-    centered[i] = row[i] - means_[i];
-    if (standardize_ && stds_[i] > 1e-12) centered[i] /= stds_[i];
-  }
+  linalg::simd::StandardizeInto(row.data(), means_.data(), stds_.data(),
+                                standardize_, centered.data(), row.size());
   std::vector<double> projected(k, 0.0);
   for (size_t c = 0; c < k; ++c) {
     double sum = 0.0;
@@ -80,11 +80,9 @@ linalg::Matrix Pca::TransformMatrix(const linalg::Matrix& data,
   // are bit-identical (see linalg/matrix.h).
   linalg::Matrix centered(data.rows(), dim);
   for (size_t r = 0; r < data.rows(); ++r) {
-    for (size_t i = 0; i < dim; ++i) {
-      double value = data.At(r, i) - means_[i];
-      if (standardize_ && stds_[i] > 1e-12) value /= stds_[i];
-      centered.At(r, i) = value;
-    }
+    linalg::simd::StandardizeInto(data.Data() + r * dim, means_.data(),
+                                  stds_.data(), standardize_,
+                                  centered.Data() + r * dim, dim);
   }
   linalg::Matrix top_components(dim, k);
   for (size_t i = 0; i < dim; ++i) {

@@ -1,0 +1,368 @@
+// Bit-identity tests for the runtime-dispatched vector kernel layer
+// (linalg/simd/). Every AVX2 lane is compared against its scalar fallback
+// at tolerance zero — not "close", the same 64 bits — across ragged sizes
+// that cover every vector-width remainder (8-wide strips, 4-wide strips,
+// the 6-row GEMM tile, and scalar tails). On hosts without AVX2 the lanes
+// are scalar-forwarding stubs and the comparisons are trivially exact, so
+// the suite passes everywhere; it only *proves* something on AVX2 hardware
+// and in the HUNTER_FORCE_SCALAR=1 duplicate run (ctest label
+// force_scalar), which pins the dispatchers to the fallback.
+
+#include "linalg/simd/simd.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "linalg/matrix.h"
+
+namespace hunter::linalg::simd {
+namespace {
+
+using hunter::common::Rng;
+
+// Exact bit-pattern comparison: EXPECT_EQ on doubles would call -0.0 equal
+// to +0.0 and NaN unequal to itself, but the kernel contract is the same
+// bits, NaNs and signed zeros included.
+uint64_t Bits(double v) {
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void ExpectBitsEqual(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Bits(a[i]), Bits(b[i])) << "index " << i;
+  }
+}
+
+// Sizes covering every remainder of the 8- and 4-wide strips plus long
+// runs: 0 and 1 (degenerate), 2..9 (every tail length), and larger sizes
+// that exercise multiple full vectors before the tail.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 33, 64};
+
+std::vector<double> RandomVec(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Uniform(-2.0, 2.0);
+  // Sprinkle exact and signed zeros so the tests cover the tie cases the
+  // kernels promise to preserve.
+  if (n > 2) v[n / 2] = 0.0;
+  if (n > 3) v[n / 3] = -0.0;
+  return v;
+}
+
+TEST(SimdElementwiseTest, AddSubScaleAxpyBitIdentical) {
+  Rng rng(0x51D001);
+  for (size_t n : kSizes) {
+    const std::vector<double> x = RandomVec(n, &rng);
+    const std::vector<double> y = RandomVec(n, &rng);
+    std::vector<double> a(n), b(n);
+
+    AddIntoScalar(x.data(), y.data(), a.data(), n);
+    AddIntoAvx2(x.data(), y.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    SubIntoScalar(x.data(), y.data(), a.data(), n);
+    SubIntoAvx2(x.data(), y.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    ScaleIntoScalar(x.data(), 0.37, a.data(), n);
+    ScaleIntoAvx2(x.data(), 0.37, b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    a = y;
+    b = y;
+    AxpyInPlaceScalar(-1.75, x.data(), a.data(), n);
+    AxpyInPlaceAvx2(-1.75, x.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    a = y;
+    b = y;
+    SoftUpdateInPlaceScalar(0.005, x.data(), a.data(), n);
+    SoftUpdateInPlaceAvx2(0.005, x.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+  }
+}
+
+TEST(SimdElementwiseTest, ExactAliasingInPlace) {
+  // The Matrix in-place ops pass out == x; the kernels must tolerate it.
+  Rng rng(0x51D002);
+  for (size_t n : kSizes) {
+    const std::vector<double> x = RandomVec(n, &rng);
+    std::vector<double> a = x, b = x;
+    AddIntoScalar(a.data(), a.data(), a.data(), n);
+    AddIntoAvx2(b.data(), b.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    a = x;
+    b = x;
+    ScaleIntoScalar(a.data(), 3.25, a.data(), n);
+    ScaleIntoAvx2(b.data(), 3.25, b.data(), n);
+    ExpectBitsEqual(a, b);
+  }
+}
+
+TEST(SimdElementwiseTest, UnalignedOffsetsBitIdentical) {
+  // All loads/stores are unaligned by contract; walk every offset of a
+  // 64-byte line to prove it.
+  Rng rng(0x51D003);
+  const std::vector<double> x = RandomVec(64, &rng);
+  const std::vector<double> y = RandomVec(64, &rng);
+  for (size_t off = 0; off < 8; ++off) {
+    const size_t n = 33;
+    std::vector<double> a(64), b(64);
+    AddIntoScalar(x.data() + off, y.data() + off, a.data() + off, n);
+    AddIntoAvx2(x.data() + off, y.data() + off, b.data() + off, n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(Bits(a[off + i]), Bits(b[off + i])) << off << "+" << i;
+    }
+  }
+}
+
+TEST(SimdActivationTest, ReluAndGradsBitIdentical) {
+  Rng rng(0x51D004);
+  for (size_t n : kSizes) {
+    const std::vector<double> x = RandomVec(n, &rng);
+    const std::vector<double> g = RandomVec(n, &rng);
+    std::vector<double> a(n), b(n);
+
+    ReluIntoScalar(x.data(), a.data(), n);
+    ReluIntoAvx2(x.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    ReluGradMulIntoScalar(g.data(), x.data(), a.data(), n);
+    ReluGradMulIntoAvx2(g.data(), x.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    TanhGradMulIntoScalar(g.data(), x.data(), a.data(), n);
+    TanhGradMulIntoAvx2(g.data(), x.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    ClampUnitFromTanhIntoScalar(x.data(), a.data(), n);
+    ClampUnitFromTanhIntoAvx2(x.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    ScaleClampIntoScalar(x.data(), 0.5, 0.75, a.data(), n);
+    ScaleClampIntoAvx2(x.data(), 0.5, 0.75, b.data(), n);
+    ExpectBitsEqual(a, b);
+  }
+}
+
+TEST(SimdActivationTest, SpecialValuesBitIdentical) {
+  // The predicated kernels document exact NaN / signed-zero / infinity
+  // behavior (vmaxpd operand order, clamp's compare+blend test order) —
+  // hold them to it bit for bit.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double den = std::numeric_limits<double>::denorm_min();
+  const std::vector<double> x = {nan, -nan, inf,  -inf, 0.0, -0.0,
+                                 den, -den, 1e21, -3.0, 0.5, -0.25, 2.0};
+  const std::vector<double> g = {1.0, -2.0, nan, 0.5,  -0.0, inf, 3.0,
+                                 0.0, -1.5, den, -inf, 4.0,  -4.0};
+  const size_t n = x.size();
+  std::vector<double> a(n), b(n);
+
+  ReluIntoScalar(x.data(), a.data(), n);
+  ReluIntoAvx2(x.data(), b.data(), n);
+  ExpectBitsEqual(a, b);
+
+  ReluGradMulIntoScalar(g.data(), x.data(), a.data(), n);
+  ReluGradMulIntoAvx2(g.data(), x.data(), b.data(), n);
+  ExpectBitsEqual(a, b);
+
+  ClampUnitFromTanhIntoScalar(x.data(), a.data(), n);
+  ClampUnitFromTanhIntoAvx2(x.data(), b.data(), n);
+  ExpectBitsEqual(a, b);
+
+  ScaleClampIntoScalar(x.data(), 0.5, 1.0, a.data(), n);
+  ScaleClampIntoAvx2(x.data(), 0.5, 1.0, b.data(), n);
+  ExpectBitsEqual(a, b);
+
+  SquaredDistIntoScalar(1.5, x.data(), g.data(), a.data(), n);
+  SquaredDistIntoAvx2(1.5, x.data(), g.data(), b.data(), n);
+  ExpectBitsEqual(a, b);
+}
+
+TEST(SimdStatsTest, AccumStandardizeSquaredDistBitIdentical) {
+  Rng rng(0x51D005);
+  for (size_t n : kSizes) {
+    const std::vector<double> x = RandomVec(n, &rng);
+    const std::vector<double> means = RandomVec(n, &rng);
+    std::vector<double> stds = RandomVec(n, &rng);
+    for (double& s : stds) s = std::abs(s);
+    if (n > 1) stds[n / 2] = 0.0;  // exercise the guarded divide
+    std::vector<double> a(n), b(n);
+
+    a = means;
+    b = means;
+    AccumSquaredCenteredScalar(x.data(), means.data(), a.data(), n);
+    AccumSquaredCenteredAvx2(x.data(), means.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+
+    for (const bool unit : {false, true}) {
+      StandardizeIntoScalar(x.data(), means.data(), stds.data(), unit,
+                            a.data(), n);
+      StandardizeIntoAvx2(x.data(), means.data(), stds.data(), unit, b.data(),
+                          n);
+      ExpectBitsEqual(a, b);
+    }
+
+    SquaredDistIntoScalar(2.25, x.data(), means.data(), a.data(), n);
+    SquaredDistIntoAvx2(2.25, x.data(), means.data(), b.data(), n);
+    ExpectBitsEqual(a, b);
+  }
+}
+
+TEST(SimdAdamTest, AdamUpdateBitIdentical) {
+  Rng rng(0x51D006);
+  for (size_t n : kSizes) {
+    const std::vector<double> grads = RandomVec(n, &rng);
+    const std::vector<double> p0 = RandomVec(n, &rng);
+    std::vector<double> m0 = RandomVec(n, &rng);
+    std::vector<double> v0 = RandomVec(n, &rng);
+    for (double& v : v0) v = std::abs(v);  // second moment is nonnegative
+
+    std::vector<double> pa = p0, ma = m0, va = v0;
+    std::vector<double> pb = p0, mb = m0, vb = v0;
+    const double scale = 1.0 / 32.0, lr = 1e-3, b1 = 0.9, b2 = 0.999;
+    const double bias1 = 1.0 - 0.9 * 0.9, bias2 = 1.0 - 0.999 * 0.999;
+    AdamUpdateInPlaceScalar(pa.data(), grads.data(), ma.data(), va.data(), n,
+                            scale, lr, b1, b2, bias1, bias2, 1e-8);
+    AdamUpdateInPlaceAvx2(pb.data(), grads.data(), mb.data(), vb.data(), n,
+                          scale, lr, b1, b2, bias1, bias2, 1e-8);
+    ExpectBitsEqual(pa, pb);
+    ExpectBitsEqual(ma, mb);
+    ExpectBitsEqual(va, vb);
+  }
+}
+
+// GEMM shapes covering the 6-row tile boundary, the 8- and 4-column strip
+// boundaries, and the scalar column tail — plus degenerate edges.
+struct GemmShape {
+  size_t m, k, n;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},  {2, 3, 4},   {5, 7, 9},    {6, 8, 8},    {7, 9, 17},
+    {12, 16, 24}, {13, 5, 11}, {3, 64, 33}, {17, 31, 20}, {6, 1, 8},
+    {1, 16, 5},  {31, 2, 3},  {19, 24, 40},
+};
+
+TEST(SimdGemmTest, GemmIntoBitIdentical) {
+  Rng rng(0x51D007);
+  for (const GemmShape& s : kGemmShapes) {
+    const std::vector<double> a = RandomVec(s.m * s.k, &rng);
+    const std::vector<double> b = RandomVec(s.k * s.n, &rng);
+    const std::vector<double> seed = RandomVec(s.m * s.n, &rng);
+    for (const bool accumulate : {false, true}) {
+      std::vector<double> out_s = seed, out_v = seed;
+      GemmIntoScalar(a.data(), s.m, s.k, b.data(), s.n, accumulate,
+                     out_s.data());
+      GemmIntoAvx2(a.data(), s.m, s.k, b.data(), s.n, accumulate,
+                   out_v.data());
+      ExpectBitsEqual(out_s, out_v);
+    }
+  }
+}
+
+TEST(SimdGemmTest, GemmBiasIntoBitIdentical) {
+  Rng rng(0x51D008);
+  for (const GemmShape& s : kGemmShapes) {
+    const std::vector<double> a = RandomVec(s.m * s.k, &rng);
+    const std::vector<double> b = RandomVec(s.k * s.n, &rng);
+    const std::vector<double> bias = RandomVec(s.n, &rng);
+    std::vector<double> out_s(s.m * s.n), out_v(s.m * s.n);
+    GemmBiasIntoScalar(a.data(), s.m, s.k, b.data(), s.n, bias.data(),
+                       out_s.data());
+    GemmBiasIntoAvx2(a.data(), s.m, s.k, b.data(), s.n, bias.data(),
+                     out_v.data());
+    ExpectBitsEqual(out_s, out_v);
+  }
+}
+
+TEST(SimdGemmTest, GemmTransposedAIntoBitIdentical) {
+  Rng rng(0x51D009);
+  for (const GemmShape& s : kGemmShapes) {
+    // a is stored k x m (transposed operand).
+    const std::vector<double> a = RandomVec(s.k * s.m, &rng);
+    const std::vector<double> b = RandomVec(s.k * s.n, &rng);
+    const std::vector<double> seed = RandomVec(s.m * s.n, &rng);
+    for (const bool accumulate : {false, true}) {
+      std::vector<double> out_s = seed, out_v = seed;
+      GemmTransposedAIntoScalar(a.data(), s.k, s.m, b.data(), s.n, accumulate,
+                                out_s.data());
+      GemmTransposedAIntoAvx2(a.data(), s.k, s.m, b.data(), s.n, accumulate,
+                              out_v.data());
+      ExpectBitsEqual(out_s, out_v);
+    }
+  }
+}
+
+TEST(SimdCholeskyTest, Downdate4BitIdentical) {
+  Rng rng(0x51D00A);
+  for (size_t stride : {4UL, 9UL, 17UL, 32UL}) {
+    const std::vector<double> lower = RandomVec(stride * stride, &rng);
+    const std::vector<double> row = RandomVec(stride, &rng);
+    for (size_t j0 = 0; j0 + 4 <= stride; ++j0) {
+      for (size_t k_end = 0; k_end <= j0; ++k_end) {
+        std::vector<double> sums_s = RandomVec(4, &rng);
+        std::vector<double> sums_v = sums_s;
+        CholeskyDowndate4Scalar(lower.data(), stride, j0, k_end, row.data(),
+                                sums_s.data());
+        CholeskyDowndate4Avx2(lower.data(), stride, j0, k_end, row.data(),
+                              sums_v.data());
+        ExpectBitsEqual(sums_s, sums_v);
+      }
+    }
+  }
+}
+
+// The dispatched entry points honor the testing override: a forced-scalar
+// pass and a hardware-tier pass through Matrix::MultiplyInto must agree to
+// the bit (and the override must clamp/restore cleanly).
+class SimdDispatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { common::ClearSimdTierForTesting(); }
+};
+
+TEST_F(SimdDispatchTest, MatrixMultiplyTierToggleBitIdentical) {
+  Rng rng(0x51D00B);
+  Matrix a(13, 29), b(29, 21);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) a.At(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  for (size_t r = 0; r < b.rows(); ++r) {
+    for (size_t c = 0; c < b.cols(); ++c) b.At(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+  Matrix scalar_out;
+  common::SetSimdTierForTesting(common::SimdTier::kScalar);
+  EXPECT_STREQ(ActiveTierName(), "scalar");
+  a.MultiplyInto(b, &scalar_out);
+  common::ClearSimdTierForTesting();
+  Matrix simd_out;
+  a.MultiplyInto(b, &simd_out);
+  for (size_t r = 0; r < scalar_out.rows(); ++r) {
+    for (size_t c = 0; c < scalar_out.cols(); ++c) {
+      EXPECT_EQ(Bits(scalar_out.At(r, c)), Bits(simd_out.At(r, c)));
+    }
+  }
+}
+
+TEST_F(SimdDispatchTest, TierNamesAndIndices) {
+  EXPECT_STREQ(common::SimdTierName(common::SimdTier::kScalar), "scalar");
+  EXPECT_STREQ(common::SimdTierName(common::SimdTier::kAvx2Fma), "avx2+fma");
+  common::SetSimdTierForTesting(common::SimdTier::kScalar);
+  EXPECT_EQ(ActiveTierIndex(), 0);
+  common::ClearSimdTierForTesting();
+  // Whatever the host dispatches, name and index must agree.
+  EXPECT_EQ(ActiveTierIndex() == 1, std::string(ActiveTierName()) == "avx2+fma");
+}
+
+}  // namespace
+}  // namespace hunter::linalg::simd

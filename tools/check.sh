@@ -8,15 +8,20 @@
 #   3. the full tier-1 ctest suite (includes the `lint` and `perf` labels)
 #   4. the hot-path micro-benchmarks in smoke mode: one rep per benchmark,
 #      gating on the golden equivalence checks (optimized paths must match
-#      their seed-faithful reference implementations), not on timings
-#   5. a tracecat smoke: emit two same-seed run journals, require them
+#      their seed-faithful reference implementations — the *_simd gates at
+#      bit-identity tolerance 0.0), not on timings
+#   5. the whole suite again with HUNTER_FORCE_SCALAR=1, pinning the
+#      vector-kernel dispatch (linalg/simd/) to the scalar fallbacks; the
+#      `force_scalar`-labeled duplicates already ran in stage 3, so this
+#      stage covers the remaining tests (-LE force_scalar)
+#   6. a tracecat smoke: emit two same-seed run journals, require them
 #      byte-identical, and render a breakdown + a cross-seed diff
-#   6. a lint-report smoke: two `hunterlint --format=json` runs over the
+#   7. a lint-report smoke: two `hunterlint --format=json` runs over the
 #      tree must be byte-identical (lintdiff exit 0), and lintdiff must
 #      report a real difference (exit 1) between the tree and the
 #      violation fixtures
-#   7. a sanitizer smoke: `ctest -L concurrency` under TSan
-#   8. a sanitizer smoke: `ctest -L concurrency` under ASan+LSan with
+#   8. a sanitizer smoke: `ctest -L concurrency` under TSan
+#   9. a sanitizer smoke: `ctest -L concurrency` under ASan+LSan with
 #      ASAN_OPTIONS=detect_leaks=1 so leaks fail at exit
 #
 # Run from anywhere: paths are resolved relative to the repo root. Build
@@ -27,32 +32,41 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/8] configure + build (HUNTER_WERROR=ON) =="
+echo "== [1/9] configure + build (HUNTER_WERROR=ON) =="
 cmake -B build-check -S . -DHUNTER_WERROR=ON
 cmake --build build-check -j "$JOBS"
 
-echo "== [2/8] hunterlint (baseline ratchet) =="
+echo "== [2/9] hunterlint (baseline ratchet) =="
 ./build-check/tools/hunterlint/hunterlint --root . \
     --baseline tools/hunterlint/baseline.json src tests bench examples
 
-echo "== [3/8] tier-1 tests =="
+echo "== [3/9] tier-1 tests =="
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "== [4/8] bench equivalence smoke =="
+echo "== [4/9] bench equivalence smoke =="
 ( cd build-check && ./bench/bench_micro_hotpaths --mode=smoke \
     --out bench_hotpaths_smoke.json )
-# The engine fast-path gates must actually have run: a refactor that
-# silently dropped one of the seed-equivalence checks would otherwise pass
-# this stage on timings alone.
+# The engine fast-path and SIMD bit-identity gates must actually have run:
+# a refactor that silently dropped one of the seed-equivalence checks would
+# otherwise pass this stage on timings alone.
 for gate in zipf_stream_vs_seed bufferpool_replay_vs_seed \
-    engine_cold_vs_seed engine_cold_rng_stream; do
+    engine_cold_vs_seed engine_cold_rng_stream \
+    gemm_simd_vs_scalar gp_kernel_simd_vs_scalar \
+    mlp_forward_simd_vs_scalar; do
   grep -q "\"$gate\"" build-check/bench_hotpaths_smoke.json || {
     echo "bench smoke: equivalence gate '$gate' missing from report" >&2
     exit 1
   }
 done
 
-echo "== [5/8] tracecat smoke =="
+echo "== [5/9] forced-scalar tier-1 tests (HUNTER_FORCE_SCALAR=1) =="
+# Stage 3 already ran every test's force_scalar-labeled duplicate; this run
+# pins the dispatch for the remaining tests (lint, perf, examples, and the
+# unlabeled originals) so the whole suite is proven green at the scalar tier.
+HUNTER_FORCE_SCALAR=1 ctest --test-dir build-check -LE force_scalar \
+    --output-on-failure -j "$JOBS"
+
+echo "== [6/9] tracecat smoke =="
 SMOKE_DIR="build-check/tracecat-smoke"
 mkdir -p "$SMOKE_DIR"
 ./build-check/examples/trace_journal "$SMOKE_DIR/seed42_a.jsonl" 42
@@ -66,7 +80,7 @@ cmp "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed42_b.jsonl" || {
 ./build-check/tools/tracecat/tracecat diff \
   "$SMOKE_DIR/seed42_a.jsonl" "$SMOKE_DIR/seed43.jsonl"
 
-echo "== [6/8] lint-report determinism (lintdiff) =="
+echo "== [7/9] lint-report determinism (lintdiff) =="
 LINT_DIR="build-check/lint-smoke"
 mkdir -p "$LINT_DIR"
 ./build-check/tools/hunterlint/hunterlint --root . --format=json \
@@ -86,12 +100,12 @@ if ./build-check/tools/lintdiff/lintdiff "$LINT_DIR/tree_a.json" \
   exit 1
 fi
 
-echo "== [7/8] TSan concurrency smoke =="
+echo "== [8/9] TSan concurrency smoke =="
 cmake -B build-check-tsan -S . -DHUNTER_SANITIZE=thread
 cmake --build build-check-tsan -j "$JOBS"
 ctest --test-dir build-check-tsan -L concurrency --output-on-failure -j "$JOBS"
 
-echo "== [8/8] ASan+LSan concurrency smoke =="
+echo "== [9/9] ASan+LSan concurrency smoke =="
 cmake -B build-check-asan -S . -DHUNTER_SANITIZE=address
 cmake --build build-check-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 \

@@ -936,6 +936,18 @@ TEST(FixtureTest, MatrixRowCopy) {
                              {"no-matrix-row-copy-in-loop", 17}}));
 }
 
+TEST(FixtureTest, RawIntrinsics) {
+  EXPECT_EQ(RulesAndLines(LintFixture("violations/raw_intrinsics.cc")),
+            (std::vector<RuleLine>{{"no-raw-intrinsics-outside-simd", 8},
+                                   {"no-raw-intrinsics-outside-simd", 8},
+                                   {"no-raw-intrinsics-outside-simd", 10},
+                                   {"no-raw-intrinsics-outside-simd", 10},
+                                   {"no-raw-intrinsics-outside-simd", 10},
+                                   {"no-raw-intrinsics-outside-simd", 11},
+                                   {"no-raw-intrinsics-outside-simd", 11},
+                                   {"no-raw-intrinsics-outside-simd", 12}}));
+}
+
 TEST(FixtureTest, BadHeader) {
   EXPECT_EQ(RulesAndLines(LintFixture("violations/bad_header.h")),
             (std::vector<RuleLine>{{"header-guard", 3},
@@ -975,7 +987,7 @@ TEST(FixtureTest, DeadlockOrder) {
 TEST(FixtureTest, CleanDirectoryIsClean) {
   const std::vector<std::string> files =
       CollectFiles(HUNTERLINT_TESTDATA_DIR, {"clean"});
-  ASSERT_EQ(files.size(), 4u);
+  ASSERT_EQ(files.size(), 5u);
   const std::vector<Violation> vs =
       LintTree(HUNTERLINT_TESTDATA_DIR, files);
   EXPECT_TRUE(vs.empty()) << FormatViolation(vs.front());

@@ -427,6 +427,46 @@ void CheckNoMatrixRowCopyInLoop(const FileCtx& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// no-raw-intrinsics-outside-simd
+
+// An x86 vector intrinsic or register-type identifier: _mm_*, _mm256_*,
+// _mm512_*, __m128/__m256d/__m512i, ... The prefix check keeps ordinary
+// identifiers like _mmap_size or __members out of scope.
+bool IsRawSimdToken(const std::string& t) {
+  if (t.size() > 3 && t.compare(0, 3, "_mm") == 0 &&
+      (t[3] == '_' || (t[3] >= '0' && t[3] <= '9'))) {
+    return true;
+  }
+  if (t.size() > 3 && t.compare(0, 3, "__m") == 0 && t[3] >= '0' &&
+      t[3] <= '9') {
+    return true;
+  }
+  return false;
+}
+
+// Vector code is quarantined: kernels live in src/linalg/simd/ and the two
+// CPUID scan kernels in common/cpu.h; everything else calls the dispatched
+// linalg::simd entry points. The paths are substring-matched so test
+// fixtures that mirror the tree under testdata/ stay in scope.
+void CheckRawIntrinsics(const FileCtx& ctx, std::vector<Violation>* out) {
+  if (ctx.rel_path.find("src/linalg/simd/") != std::string::npos ||
+      ctx.rel_path.find("common/cpu.h") != std::string::npos) {
+    return;
+  }
+  for (const Token& t : ctx.lex->tokens) {
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (IsRawSimdToken(t.text)) {
+      out->push_back(
+          {"no-raw-intrinsics-outside-simd", ctx.rel_path, t.line,
+           "raw SIMD token '" + t.text +
+               "' — vector kernels are quarantined in src/linalg/simd/ "
+               "(plus the scan kernels in common/cpu.h); call the "
+               "dispatched linalg::simd entry points instead"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // header hygiene
 
 void CheckHeaderGuard(const FileCtx& ctx, std::vector<Violation>* out) {
@@ -498,6 +538,7 @@ const std::vector<std::string>& AllRuleNames() {
       "no-unordered-iteration-emit",
       "journal-emit-through-obs",
       "no-matrix-row-copy-in-loop",
+      "no-raw-intrinsics-outside-simd",
       "guarded-by",
       "no-alloc-in-hot-loop",
       "deadlock-order",
@@ -535,6 +576,11 @@ std::string RuleDescription(const std::string& rule) {
     return "flags allocating Matrix::Row() calls inside for-loop bodies "
            "under src/ml/ and src/linalg/ — hot loops take the "
            "non-allocating RowView()/RowSpan instead";
+  }
+  if (rule == "no-raw-intrinsics-outside-simd") {
+    return "bans raw vector intrinsics and register types (_mm*/__m128/"
+           "__m256d/...) outside src/linalg/simd/ and common/cpu.h — hot "
+           "paths call the runtime-dispatched linalg::simd kernels";
   }
   if (rule == "guarded-by") {
     return "fields annotated '// hunterlint: guarded_by(mu_)' must only be "
@@ -578,6 +624,7 @@ std::vector<Violation> RunRules(const FileCtx& ctx) {
   CheckUnorderedIterationEmit(ctx, &out);
   CheckJournalEmit(ctx, &out);
   CheckNoMatrixRowCopyInLoop(ctx, &out);
+  CheckRawIntrinsics(ctx, &out);
   if (ctx.is_header) {
     CheckHeaderGuard(ctx, &out);
     CheckUsingNamespaceHeader(ctx, &out);
